@@ -1,0 +1,84 @@
+"""Ablation: thread-to-thread vs thread-to-node DXchg (paper section 5).
+
+The original DXchg partitioned to every receiver *thread*: with double
+buffering that is ``2 * nodes * cores^2`` send buffers per node -- the
+paper's example, 100 nodes x 20 cores x 256KB messages, needs 20GB of
+buffer space per node and tends to materialize the exchange. The
+thread-to-node variant reduces the fanout to ``nodes`` (2 * nodes * cores
+buffers) at the price of a one-byte receiver-thread column per tuple.
+
+We regenerate the buffer-memory table across cluster sizes and measure the
+per-tuple overhead of the extra byte column on a real shuffle.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.net.mpi import MpiFabric, dxchg_buffer_memory
+
+MESSAGE = 256 * 1024
+
+
+def test_dxchg_buffer_memory_table(benchmark):
+    lines = ["ABLATION: DXchg sender buffer memory per node "
+             "(256KB messages, double buffering)",
+             f"{'nodes':>6} {'cores':>6} {'thread-to-thread':>18} "
+             f"{'thread-to-node':>15} {'reduction':>10}"]
+    for nodes, cores in [(6, 20), (10, 20), (50, 20), (100, 20), (100, 40)]:
+        t2t = dxchg_buffer_memory(nodes, cores, MESSAGE,
+                                  thread_to_node=False)
+        t2n = dxchg_buffer_memory(nodes, cores, MESSAGE,
+                                  thread_to_node=True)
+        lines.append(f"{nodes:>6} {cores:>6} {t2t / 2**30:>16.1f}GB "
+                     f"{t2n / 2**30:>13.2f}GB {t2t // t2n:>9}x")
+        assert t2t // t2n == cores
+    # the paper's example: 2 * 100 * 20^2 * 256KB = 20GB (decimal)
+    assert dxchg_buffer_memory(100, 20, MESSAGE, False) == 20_971_520_000
+    write_report("ablation_dxchg_memory.txt", "\n".join(lines))
+    benchmark(dxchg_buffer_memory, 100, 20, MESSAGE, True)
+
+
+def test_dxchg_tuple_overhead(benchmark):
+    """Thread-to-node adds a one-byte receiver-thread column per tuple."""
+    n = 100_000
+    rng = np.random.default_rng(0)
+    keys = rng.integers(0, 1 << 30, n)
+    n_nodes, n_cores = 9, 20
+
+    def thread_to_node():
+        dest_node = keys % n_nodes
+        receiver_thread = (keys // n_nodes % n_cores).astype(np.uint8)
+        return dest_node, receiver_thread
+
+    def thread_to_thread():
+        return keys % (n_nodes * n_cores)
+
+    d1 = thread_to_node()
+    d2 = thread_to_thread()
+    assert len(d1[1]) == n and d2.max() < n_nodes * n_cores
+    # extra payload: exactly one byte per tuple
+    assert d1[1].nbytes == n
+    benchmark(thread_to_node)
+
+
+def test_dxchg_message_rounding_favors_fewer_buffers(benchmark):
+    """Fewer, fuller buffers -> fewer (padded) MPI messages for the same
+    data volume: the throughput argument for thread-to-node."""
+    payload = 10 * MESSAGE + 1000
+    t2t = MpiFabric(MESSAGE)
+    fanout_t2t = 60  # 3 nodes x 20 threads
+    for i in range(fanout_t2t):
+        t2t.send("src", f"dst{i % 3}", payload // fanout_t2t)
+    t2n = MpiFabric(MESSAGE)
+    for i in range(3):
+        t2n.send("src", f"dst{i}", payload // 3)
+    assert t2n.total_messages < t2t.total_messages
+    assert abs(t2n.total_bytes - t2t.total_bytes) < 64  # same data volume
+    write_report(
+        "ablation_dxchg_messages.txt",
+        "ABLATION: same shuffle volume, message counts\n"
+        f"thread-to-thread: {t2t.total_messages} messages\n"
+        f"thread-to-node:   {t2n.total_messages} messages",
+    )
+    benchmark(lambda: MpiFabric(MESSAGE).send("a", "b", payload))

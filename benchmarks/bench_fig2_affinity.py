@@ -1,0 +1,74 @@
+"""Figure 2: partition affinity mapping before and after a node failure.
+
+Tables R and S with 12 co-partitioned partitions on 4 nodes (R=3). After
+node4 fails the min-cost-flow affinity update re-replicates the lost
+copies across the 3 survivors while (i) keeping matching R/S partitions
+co-located, (ii) keeping every surviving copy in place, and (iii)
+balancing the responsibility assignment -- the exact properties the
+figure illustrates.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_config, write_report
+from repro.common.types import INT64
+from repro.cluster import VectorHCluster
+from repro.storage import Column, TableSchema
+
+
+def build_cluster():
+    cluster = VectorHCluster(n_nodes=4, config=bench_config())
+    for name, key in (("R", "rk"), ("S", "sk")):
+        cluster.create_table(TableSchema(
+            name, [Column(key, INT64), Column("v", INT64)],
+            partition_key=(key,), n_partitions=12))
+        cluster.bulk_load(name, {key: np.arange(3000),
+                                 "v": np.zeros(3000, np.int64)})
+    return cluster
+
+
+def mapping_text(cluster, title):
+    lines = [title]
+    for name in ("R", "S"):
+        stored = cluster.tables[name]
+        for pid in range(stored.n_partitions):
+            path = stored.partitions[pid].file_paths()[0]
+            holders = cluster.hdfs.replica_locations(path)
+            responsible = cluster.responsible(name, pid)
+            marked = [f"*{h}*" if h == responsible else h for h in holders]
+            lines.append(f"  {name}{pid + 1:02d}: {' '.join(marked)}")
+    return "\n".join(lines)
+
+
+def test_fig2_affinity_before_after_failure(benchmark):
+    cluster = build_cluster()
+    before = mapping_text(cluster, "FIG 2 (top): initial affinity map "
+                                   "(*responsible*)")
+    info = cluster.fail_node("node4")
+    after = mapping_text(cluster, "\nFIG 2 (bottom): after node4 failure")
+    summary = (f"\nre-replicated files: {info['rereplicated_files']}, "
+               f"moved partitions: {info['moved_partitions']}")
+    write_report("fig2_affinity.txt", before + "\n" + after + summary)
+
+    # shape assertions mirroring the figure
+    from collections import Counter
+    resp_load = Counter(cluster.responsible("R", p) for p in range(12))
+    assert set(resp_load.values()) == {4}  # 12 partitions over 3 nodes
+    for pid in range(12):
+        assert cluster.responsible("R", pid) == cluster.responsible("S", pid)
+        node = cluster.responsible("R", pid)
+        for name in ("R", "S"):
+            stored = cluster.tables[name]
+            for path in stored.partitions[pid].file_paths():
+                holders = cluster.hdfs.replica_locations(path)
+                assert node in holders  # responsible node reads locally
+                assert len(holders) == 3  # back to full replication
+                assert "node4" not in holders
+
+    benchmark.pedantic(_failover_round, rounds=3, iterations=1)
+
+
+def _failover_round():
+    cluster = build_cluster()
+    cluster.fail_node("node4")

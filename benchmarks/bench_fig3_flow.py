@@ -1,0 +1,65 @@
+"""Figure 3: the min-cost flow network for responsibility assignment.
+
+Reproduces the bipartite model (source -> partitions -> workers -> sink)
+and reports, across cluster sizes: solve time, achieved locality (the
+fraction of partitions assigned to a node already holding them) and the
+balance of the assignment -- versus a naive round-robin that ignores
+locality. Expected shape: the flow solution is perfectly balanced AND
+(near-)perfectly local, the naive one is balanced but non-local.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.flow import affinity_map, responsibility_assignment
+
+
+def make_locality(n_parts, workers, r, seed=0):
+    rng = random.Random(seed)
+    return {p: set(rng.sample(workers, r)) for p in range(n_parts)}
+
+
+def locality_fraction(resp, local):
+    hits = sum(1 for p, w in resp.items() if w in local[p])
+    return hits / len(resp)
+
+
+def test_fig3_responsibility_flow(benchmark):
+    lines = ["FIG 3: min-cost-flow responsibility assignment",
+             f"{'parts':>6} {'workers':>8} {'flow local%':>12} "
+             f"{'naive local%':>13} {'max load':>9}"]
+    for n_parts, n_workers in [(12, 4), (48, 8), (180, 9), (360, 16)]:
+        workers = [f"w{i}" for i in range(n_workers)]
+        local = make_locality(n_parts, workers, r=3)
+        resp = responsibility_assignment(list(range(n_parts)), workers,
+                                         local)
+        naive = {p: workers[p % n_workers] for p in range(n_parts)}
+        flow_local = locality_fraction(resp, local)
+        naive_local = locality_fraction(naive, local)
+        load = Counter(resp.values())
+        lines.append(f"{n_parts:>6} {n_workers:>8} {flow_local:>11.0%} "
+                     f"{naive_local:>12.0%} {max(load.values()):>9}")
+        assert flow_local >= naive_local
+        assert max(load.values()) <= -(-n_parts // n_workers)
+        assert flow_local >= 0.95  # with R=3 copies a local owner exists
+    write_report("fig3_flow.txt", "\n".join(lines))
+
+    workers = [f"w{i}" for i in range(9)]
+    local = make_locality(180, workers, r=3)
+    benchmark(responsibility_assignment, list(range(180)), workers, local)
+
+
+def test_fig3_affinity_map_keeps_copies(benchmark):
+    """The affinity half of the figure: R copies per partition, balanced,
+    preserving existing placement."""
+    workers = [f"w{i}" for i in range(6)]
+    local = make_locality(60, workers, r=2, seed=3)
+    amap = affinity_map(list(range(60)), workers, local, replication=3)
+    kept = sum(1 for p in range(60) if local[p] <= set(amap[p]))
+    assert kept == 60  # existing copies never move
+    load = Counter(w for nodes in amap.values() for w in nodes)
+    assert max(load.values()) - min(load.values()) <= 1
+    benchmark(affinity_map, list(range(60)), workers, local, 3)

@@ -1,0 +1,69 @@
+"""Spark pipeline: loading HDFS CSV data through the connector (section 7).
+
+Uploads CSV files to simulated HDFS from an edge node, then compares the
+three load paths the paper measures: stock vwload, locality-tuned vwload,
+and the Spark-VectorH connector whose bipartite matching gets block-local
+reads out of the box.
+
+    python examples/spark_pipeline.py
+"""
+
+import numpy as np
+
+from repro.common.config import Config
+from repro.common.types import INT64
+from repro.cluster import VectorHCluster
+from repro.connector import spark_load, vwload
+from repro.mpp.logical import LAggr, LScan
+from repro.storage import Column, TableSchema
+
+
+def main():
+    config = Config().scaled_for_tests()
+    config.hdfs_block_size = 16 * 1024
+    cluster = VectorHCluster(n_nodes=6, config=config)
+
+    # stage 12 CSV files on HDFS, uploaded from outside the worker set
+    rng = np.random.default_rng(1)
+    paths = []
+    for f in range(12):
+        rows = rng.integers(0, 10**6, size=(800, 10))
+        rows[:, 0] = np.arange(f * 800, (f + 1) * 800)
+        text = "\n".join("|".join(map(str, r)) for r in rows) + "\n"
+        path = f"/staging/part-{f:02d}.csv"
+        cluster.hdfs.write_file(path, text.encode(), writer=None)
+        paths.append(path)
+    print(f"staged {len(paths)} CSV files on HDFS")
+
+    def fresh_table(name):
+        cluster.create_table(TableSchema(
+            name, [Column(f"c{i}", INT64) for i in range(10)],
+            partition_key=("c0",), n_partitions=12))
+
+    fresh_table("t_vwload")
+    naive = vwload(cluster, "t_vwload", paths)
+    fresh_table("t_tuned")
+    tuned = vwload(cluster, "t_tuned", paths, prefer_local=True)
+    fresh_table("t_spark")
+    spark = spark_load(cluster, "t_spark", paths)
+
+    print(f"\n{'path':>16} {'rows':>7} {'local bytes':>12} "
+          f"{'remote bytes':>13}")
+    for name, rep in (("vwload", naive), ("vwload tuned", tuned),
+                      ("spark connector", spark)):
+        print(f"{name:>16} {rep.rows_loaded:>7} {rep.bytes_local:>12,} "
+              f"{rep.bytes_remote:>13,}")
+    print(f"\nconnector matching locality: {spark.locality:.0%} "
+          "(paper: works out of the box, close to the hand-tuned load)")
+    for op in spark.operators:
+        print(f"  ExternalScan@{op.host}: {op.rows_received} rows, "
+              f"{op.bytes_received:,} bytes")
+
+    total = cluster.query(LAggr(LScan("t_spark", ["c0"]), [],
+                                [("n", "count", None)]))
+    print(f"\nrows queryable after connector load: "
+          f"{int(total.batch.columns['n'][0])}")
+
+
+if __name__ == "__main__":
+    main()

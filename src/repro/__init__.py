@@ -1,0 +1,22 @@
+"""repro: a Python reproduction of VectorH (SIGMOD 2016).
+
+Actian Vector in Hadoop -- a SQL-on-Hadoop MPP system built on the
+vectorized Vectorwise engine -- rebuilt as an in-process simulation with
+the real algorithms: PFOR-family compression, Positional Delta Trees,
+instrumented HDFS block placement, YARN elasticity via dbAgent, min-cost
+flow assignment, the Parallel Rewriter and DXchg operators, per-partition
+WALs with 2PC, the Spark connector, and the full TPC-H evaluation kit.
+
+Entry points:
+
+* :class:`repro.cluster.VectorHCluster` -- the system facade
+* :func:`repro.sql.execute_sql` -- run SQL against a cluster
+* :mod:`repro.tpch` -- dbgen + the 22 queries + refresh functions
+* :mod:`repro.baselines` -- the competitor systems of the evaluation
+"""
+
+__version__ = "1.0.0"
+
+from repro.cluster import VectorHCluster
+
+__all__ = ["VectorHCluster", "__version__"]

@@ -1,0 +1,23 @@
+"""Baselines: the systems VectorH is evaluated against (paper section 8).
+
+One tuple-at-a-time row engine interprets the *same logical plans* as the
+vectorized engine, on top of ORC-like / Parquet-like PAX row-group formats,
+with per-system architectural profiles encoding exactly the deficits the
+paper attributes to each competitor: row-count-split row groups,
+general-purpose recompression, value-at-a-time decode, absent or IO-bound
+MinMax skipping, single-core joins (Impala), stage materialization
+(Hive/SparkSQL), and key-based delta-table merge after updates (Hive).
+"""
+
+from repro.baselines.formats import OrcLikeTable, ParquetLikeTable
+from repro.baselines.rowengine import RowEngineRunner, RowStats
+from repro.baselines.systems import COMPETITORS, CompetitorSystem
+
+__all__ = [
+    "OrcLikeTable",
+    "ParquetLikeTable",
+    "RowEngineRunner",
+    "RowStats",
+    "CompetitorSystem",
+    "COMPETITORS",
+]

@@ -1,0 +1,15 @@
+"""The VectorH cluster facade: the library's main entry point.
+
+::
+
+    from repro.cluster import VectorHCluster
+
+    cluster = VectorHCluster(n_nodes=4)
+    cluster.create_table(schema)
+    cluster.bulk_load("orders", columns)
+    result = cluster.query(logical_plan)
+"""
+
+from repro.cluster.vectorh import VectorHCluster
+
+__all__ = ["VectorHCluster"]

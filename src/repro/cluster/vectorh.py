@@ -1,0 +1,629 @@
+"""VectorHCluster: workers, session master, catalog, DML, failure handling.
+
+Wires every subsystem together the way section 2's roadmap describes:
+HDFS storage with the instrumented placement policy (section 3), YARN
+negotiation through dbAgent (section 4), MPP query execution through the
+Parallel Rewriter and DXchg operators (section 5), and PDT-based
+transactions with per-partition WALs and 2PC (section 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.config import Config, DEFAULT_CONFIG
+from repro.common.errors import ReproError, StorageError
+from repro.engine.batch import Batch
+from repro.engine.expressions import Expr
+from repro.flow.assignment import affinity_map, responsibility_assignment
+from repro.hdfs.cluster import HdfsCluster
+from repro.hdfs.placement import VectorHPlacementPolicy
+from repro.mpp.executor import MppExecutor, QueryResult
+from repro.mpp.logical import LogicalPlan
+from repro.mpp.rewriter import ParallelRewriter, RewriterFlags
+from repro.net.mpi import MpiFabric
+from repro.pdt.stack import PdtStack
+from repro.storage.buffer import BufferPool
+from repro.storage.schema import TableSchema
+from repro.storage.table import StoredTable
+from repro.txn.manager import DistributedTransaction, TransactionManager
+from repro.txn.wal import WalManager
+from repro.yarn.dbagent import DbAgent
+from repro.yarn.manager import ResourceManager
+
+#: inserts of at least this many rows to *unordered* tables append directly
+#: to disk instead of buffering in PDTs (paper section 6).
+DIRECT_APPEND_THRESHOLD = 4096
+
+
+def _pin_responsible_into_affinity(amap, resp) -> None:
+    """Guarantee the responsible node is one of the partition's replica
+    targets (the capacity constraints of the two flow problems can
+    otherwise disagree in corner cases)."""
+    for pid, node in resp.items():
+        if node not in amap[pid]:
+            amap[pid] = [node] + [n for n in amap[pid] if n != node][:-1]
+
+
+class VectorHCluster:
+    """An in-process VectorH deployment."""
+
+    def __init__(
+        self,
+        n_nodes: int = 4,
+        config: Optional[Config] = None,
+        node_names: Optional[List[str]] = None,
+        db_path: str = "/db",
+        num_workers: Optional[int] = None,
+        yarn_queues: Optional[Dict[str, int]] = None,
+    ):
+        self.config = config or DEFAULT_CONFIG
+        names = node_names or [f"node{i + 1}" for i in range(n_nodes)]
+        self.db_path = db_path
+
+        self.placement = VectorHPlacementPolicy()
+        self.hdfs = HdfsCluster(names, self.config, self.placement)
+        self.rm = ResourceManager(yarn_queues or {"default": 5, "prod": 8})
+        for name in names:
+            self.rm.register_node(
+                name, self.config.cores_per_node, self.config.memory_per_node_mb
+            )
+        self.dbagent = DbAgent(
+            self.rm, self.hdfs, names,
+            slice_cores=max(1, self.config.cores_per_node // 4),
+            slice_memory_mb=max(256, self.config.memory_per_node_mb // 8),
+        )
+        self.workers: List[str] = self.dbagent.negotiate_worker_set(
+            num_workers or len(names), db_path + "/"
+        )
+        self.session_master: str = self.workers[0]
+
+        self.mpi = MpiFabric(self.config.mpi_message_size)
+        self._pools: Dict[str, BufferPool] = {
+            name: BufferPool(self.hdfs) for name in names
+        }
+        self.tables: Dict[str, StoredTable] = {}
+        self._indexes: Dict[Tuple[str, str], object] = {}
+        self._responsibility: Dict[Tuple[str, int], str] = {}
+        self.wal = WalManager(self.hdfs, db_path)
+        self.txn = TransactionManager(self)
+        self.executor = MppExecutor(self)
+
+    # ---------------------------------------------------------------- plumbing
+
+    def pool_of(self, node: str) -> BufferPool:
+        return self._pools[node]
+
+    def responsible(self, table: str, pid: int) -> str:
+        stored = self.tables[table]
+        if stored.is_replicated:
+            return self.session_master
+        return self._responsibility[(table, pid)]
+
+    def responsibility_map(self, table: str) -> Dict[int, str]:
+        stored = self.tables[table]
+        return {pid: self.responsible(table, pid)
+                for pid in range(stored.n_partitions)}
+
+    # --------------------------------------------------------------------- DDL
+
+    def create_table(self, schema: TableSchema) -> StoredTable:
+        """Create a table: storage, PDT stacks, WALs and partition affinity.
+
+        Partition ``pid`` of *every* table maps to the same worker triple
+        (round-robin, Figure 2), which co-locates equal partition ids
+        across tables -- the invariant behind co-located FK joins.
+        """
+        if schema.name in self.tables:
+            raise StorageError(f"table exists: {schema.name}")
+        stored = StoredTable(self.hdfs, self.db_path, schema, self.config)
+        self.tables[schema.name] = stored
+        n = len(self.workers)
+        r = min(self.config.replication, n)
+        for pid in range(stored.n_partitions):
+            nodes = [self.workers[(pid + i) % n] for i in range(r)]
+            self.placement.set_affinity(stored.partition_tag(pid), nodes)
+            self._responsibility[(schema.name, pid)] = nodes[0]
+            self.wal.create_partition_wal(schema.name, pid, writer=nodes[0])
+        self.wal.log_global("ddl", ("create_table", schema.name),
+                            writer=self.session_master)
+        return stored
+
+    def create_index(self, table: str, column: str):
+        """Create an unclustered index for point queries (section 2)."""
+        from repro.storage.secondary import SecondaryIndex
+        key = (table, column)
+        if key in self._indexes:
+            raise StorageError(f"index on {table}.{column} exists")
+        index = SecondaryIndex(self.tables[table], column)
+        self._indexes[key] = index
+        self.wal.log_global("ddl", ("create_index", table, column),
+                            writer=self.session_master)
+        return index
+
+    def index_lookup(self, table: str, column: str, value,
+                     columns: Sequence[str],
+                     trans: Optional[DistributedTransaction] = None):
+        """Point lookup via an unclustered index, avoiding a table scan.
+
+        ``value`` uses the engine representation (floats for decimals);
+        it is converted to storage form for the probe.
+        """
+        index = self._indexes.get((table, column))
+        if index is None:
+            raise StorageError(f"no index on {table}.{column}")
+        stored = self.tables[table]
+        scale = stored._decimal_scale(column)
+        probe = int(round(value * scale)) if scale is not None else value
+        node = self.session_master
+        # lookups run per partition at the responsible node
+        out = {c: [] for c in columns}
+        for pid in range(stored.n_partitions):
+            reader = self.responsible(table, pid)
+            t = trans.trans_for(table, pid) if trans is not None else None
+            partial = {c: [] for c in columns}
+            index._lookup_partition(pid, probe, columns, t, reader,
+                                    self.pool_of(reader), partial)
+            for c in columns:
+                out[c].extend(partial[c])
+        from repro.storage.secondary import _to_array
+        return {c: _to_array(v) for c, v in out.items()}
+
+    def drop_table(self, name: str) -> None:
+        stored = self.tables.pop(name, None)
+        if stored is None:
+            raise StorageError(f"no such table {name}")
+        for pid in range(stored.n_partitions):
+            self._responsibility.pop((name, pid), None)
+            path = self.wal.partition_wal_path(name, pid)
+            if self.hdfs.exists(path):
+                self.hdfs.delete(path)
+        for part in stored.partitions:
+            part.delete_all()
+        self.wal.log_global("ddl", ("drop_table", name),
+                            writer=self.session_master)
+
+    # --------------------------------------------------------------------- load
+
+    def bulk_load(self, table: str, columns: Dict[str, np.ndarray]) -> None:
+        """Initial load; each partition is written by its responsible node,
+        so the default first-copy-on-the-writer rule already lands the
+        primary replica locally."""
+        stored = self.tables[table]
+        writers = {pid: self.responsible(table, pid)
+                   for pid in range(stored.n_partitions)}
+        stored.bulk_load(columns, writers)
+
+    # ------------------------------------------------------------------- queries
+
+    def query(self, plan: LogicalPlan,
+              flags: Optional[RewriterFlags] = None,
+              trans: Optional[DistributedTransaction] = None) -> QueryResult:
+        """Optimize and execute a logical plan; returns the result batch
+        plus execution statistics (network, IO, profile)."""
+        phys = ParallelRewriter(self, flags).rewrite(plan)
+        return self.executor.execute(phys, trans=trans)
+
+    def explain(self, plan: LogicalPlan,
+                flags: Optional[RewriterFlags] = None) -> str:
+        return ParallelRewriter(self, flags).rewrite(plan).pretty()
+
+    def resolve_minmax(self, plan: LogicalPlan) -> Dict[str, object]:
+        """The MinMax network interface (paper section 6).
+
+        Only responsible nodes hold a partition's MinMax index, but the
+        session master consults it during query optimization. VectorH's
+        MPI interface resolves *all* MinMax information a query needs --
+        every selection predicate on every table -- in a single network
+        interaction per involved node. Returns, per table, the union of
+        qualifying row ranges per partition, charging exactly one
+        request/response pair per remote responsible node.
+        """
+        from repro.mpp.logical import LScan
+        wanted: Dict[Tuple[str, int], list] = {}
+        for node in plan.walk():
+            if isinstance(node, LScan) and node.skip_predicates:
+                stored = self.tables[node.table]
+                for pid in range(stored.n_partitions):
+                    wanted.setdefault((node.table, pid), []).extend(
+                        node.skip_predicates
+                    )
+        by_node: Dict[str, list] = {}
+        for (table, pid), preds in wanted.items():
+            by_node.setdefault(self.responsible(table, pid), []).append(
+                (table, pid, preds)
+            )
+        answers: Dict[str, object] = {}
+        for node, requests in by_node.items():
+            if node != self.session_master:
+                # one request with every (table, partition, predicates)
+                # triple, one response with every answer
+                self.mpi.send(self.session_master, node,
+                              64 * max(1, len(requests)))
+            for table, pid, preds in requests:
+                stored = self.tables[table]
+                store = stored.partitions[pid]
+                ranges = store.minmax.qualifying_ranges(
+                    stored._storage_predicates(preds), store.n_stable
+                )
+                answers[f"{table}/{pid}"] = ranges
+            if node != self.session_master:
+                self.mpi.send(node, self.session_master,
+                              48 * max(1, len(requests)))
+        return answers
+
+    # ----------------------------------------------------------------------- DML
+
+    def begin(self) -> DistributedTransaction:
+        return self.txn.begin()
+
+    def insert(self, table: str, columns: Dict[str, np.ndarray],
+               trans: Optional[DistributedTransaction] = None,
+               force_pdt: bool = False) -> None:
+        """Insert rows. Unordered tables take large inserts as direct
+        appends; small inserts (or ``force_pdt``) buffer in PDTs -- "for
+        very small inserts this provides better performance (no IO)"."""
+        stored = self.tables[table]
+        converted = stored.to_storage_columns({
+            name: columns[name] for name in stored.schema.column_names
+        })
+        arrays = {
+            name: np.asarray(converted[name],
+                             dtype=stored.schema.ctype(name).dtype)
+            for name in stored.schema.column_names
+        }
+        n = len(next(iter(arrays.values())))
+        if stored.schema.is_partitioned:
+            keys = [arrays[k] for k in stored.schema.partition_key]
+            pids = stored.schema.partition_ids(keys)
+        else:
+            pids = np.zeros(n, dtype=np.int64)
+
+        use_append = (not stored.schema.is_clustered and not force_pdt
+                      and n >= DIRECT_APPEND_THRESHOLD)
+        own_txn = trans is None
+        if use_append:
+            for pid in range(stored.n_partitions):
+                mask = pids == pid
+                if mask.any():
+                    stored.append_partition(
+                        pid, {k: v[mask] for k, v in arrays.items()},
+                        writer=self.responsible(table, pid),
+                    )
+            return
+        if own_txn:
+            trans = self.begin()
+        for pid in range(stored.n_partitions):
+            mask = pids == pid
+            if mask.any():
+                stored.insert_rows(
+                    pid, {k: v[mask] for k, v in arrays.items()},
+                    trans.trans_for(table, pid),
+                )
+        if own_txn:
+            trans.commit()
+
+    def delete_where(self, table: str, predicate: Expr,
+                     skip_predicates: Sequence[Tuple[str, str, object]] = (),
+                     trans: Optional[DistributedTransaction] = None) -> int:
+        """DELETE FROM table WHERE predicate; returns rows deleted.
+
+        The distributed update plan touches each partition at its
+        responsible node, so PDTs are modified on the right node.
+        """
+        stored = self.tables[table]
+        own_txn = trans is None
+        if own_txn:
+            trans = self.begin()
+        deleted = 0
+        needed = predicate.columns_used()
+        for pid in range(stored.n_partitions):
+            t = trans.trans_for(table, pid)
+            res = stored.scan_partition(pid, needed, list(skip_predicates),
+                                        trans=t,
+                                        reader=self.responsible(table, pid),
+                                        pool=self.pool_of(
+                                            self.responsible(table, pid)))
+            mask = np.asarray(predicate.eval(res.columns), dtype=bool)
+            if mask.any():
+                deleted += stored.delete_rows(pid, res.identities[mask], t)
+        if own_txn:
+            trans.commit()
+        return deleted
+
+    def update_where(self, table: str, predicate: Expr,
+                     assignments: Dict[str, Expr],
+                     trans: Optional[DistributedTransaction] = None) -> int:
+        """UPDATE table SET col=expr... WHERE predicate; returns rows hit."""
+        stored = self.tables[table]
+        own_txn = trans is None
+        if own_txn:
+            trans = self.begin()
+        needed = list(dict.fromkeys(
+            predicate.columns_used()
+            + [c for e in assignments.values() for c in e.columns_used()]
+        ))
+        updated = 0
+        for pid in range(stored.n_partitions):
+            t = trans.trans_for(table, pid)
+            node = self.responsible(table, pid)
+            res = stored.scan_partition(pid, needed, trans=t, reader=node,
+                                        pool=self.pool_of(node))
+            mask = np.asarray(predicate.eval(res.columns), dtype=bool)
+            if not mask.any():
+                continue
+            hit = {k: v[mask] for k, v in res.columns.items()}
+            new_values = {col: np.asarray(expr.eval(hit))
+                          for col, expr in assignments.items()}
+            for col in new_values:
+                if new_values[col].ndim == 0:
+                    new_values[col] = np.full(int(mask.sum()),
+                                              new_values[col])
+            updated += stored.modify_rows(pid, res.identities[mask],
+                                          new_values, t)
+        if own_txn:
+            trans.commit()
+        return updated
+
+    # -------------------------------------------------------------- propagation
+
+    def propagate_updates(self, table: Optional[str] = None,
+                          force: bool = False) -> Dict[str, int]:
+        """Run update propagation where thresholds are exceeded."""
+        stats = {"tail": 0, "full": 0}
+        names = [table] if table else list(self.tables)
+        for name in names:
+            stored = self.tables[name]
+            for pid in range(stored.n_partitions):
+                if force or stored.needs_propagation(pid):
+                    node = self.responsible(name, pid)
+                    mode = stored.propagate(pid, writer=node)
+                    if mode != "none":
+                        stats[mode] += 1
+                        self.wal.reset_partition_wal(name, pid, writer=node)
+                        self.wal.log_minmax(
+                            name, pid,
+                            stored.partitions[pid].minmax.to_record(),
+                            writer=node,
+                        )
+                        self._pools[node].invalidate(
+                            stored.partitions[pid].base_path
+                        )
+                        for (tname, column), index in self._indexes.items():
+                            if tname == name:
+                                index.rebuild_partition(
+                                    pid, reader=node,
+                                    pool=self.pool_of(node),
+                                )
+        return stats
+
+    # ------------------------------------------------------------------ failures
+
+    def fail_node(self, name: str) -> Dict[str, object]:
+        """Handle a node failure the VectorH way (sections 3-4).
+
+        1. dbAgent shrinks the worker set to the survivors;
+        2. the affinity map is recomputed by min-cost flow over current
+           replica locations and pushed into the placement policy;
+        3. the namenode re-replicates under-replicated chunk files, now
+           steered by the updated policy;
+        4. responsibilities are reassigned (min-cost flow again) and the
+           new responsible nodes replay their partition WALs to rebuild
+           the PDTs they must now hold in RAM.
+        """
+        if name not in self.workers:
+            raise ReproError(f"{name} is not in the worker set")
+        self.hdfs.mark_node_dead(name)
+        self.rm.unregister_node(name)
+        survivors = [w for w in self.workers if w != name]
+        self.dbagent.viable_machines = [
+            m for m in self.dbagent.viable_machines if m != name
+        ]
+        self.workers = self.dbagent.negotiate_worker_set(
+            len(survivors), self.db_path + "/"
+        )
+        if self.session_master not in self.workers:
+            self.session_master = self.workers[0]
+
+        # Recompute affinity + responsibility *jointly* per partition-count
+        # group: matching partition ids of co-partitioned tables (e.g.
+        # lineitem/orders) must keep moving together, as in Figure 2, or
+        # co-located joins stop being local -- and stop being correct.
+        moved_partitions = 0
+        wal_replayed_bytes = 0
+        groups: Dict[int, List[str]] = {}
+        for tname, stored in self.tables.items():
+            groups.setdefault(stored.n_partitions, []).append(tname)
+        for n_parts, tnames in groups.items():
+            parts = list(range(n_parts))
+            local = {pid: set() for pid in parts}
+            for tname in tnames:
+                stored = self.tables[tname]
+                for pid in parts:
+                    for path in stored.partitions[pid].file_paths():
+                        for holder in self.hdfs.replica_locations(path):
+                            if self.hdfs.nodes[holder].alive:
+                                local[pid].add(holder)
+            amap = affinity_map(parts, self.workers, local,
+                                self.config.replication)
+            resp = responsibility_assignment(
+                parts, self.workers, {p: set(amap[p]) for p in parts}
+            )
+            _pin_responsible_into_affinity(amap, resp)
+            for tname in tnames:
+                stored = self.tables[tname]
+                for pid in parts:
+                    self.placement.set_affinity(stored.partition_tag(pid),
+                                                amap[pid])
+                    old = self._responsibility.get((tname, pid))
+                    new = resp[pid]
+                    self._responsibility[(tname, pid)] = new
+                    if old == name or old != new:
+                        moved_partitions += 1
+                        wal_replayed_bytes += self._replay_pdt(tname, pid, new)
+        repaired = self.hdfs.rereplicate()
+        self.hdfs.rebalance()
+        return {
+            "workers": list(self.workers),
+            "moved_partitions": moved_partitions,
+            "rereplicated_files": repaired,
+            "wal_replayed_bytes": wal_replayed_bytes,
+        }
+
+    def _replay_pdt(self, table: str, pid: int, node: str) -> int:
+        """New responsible node rebuilds the partition's PDTs from its WAL."""
+        stored = self.tables[table]
+        records = self.wal.replay_partition(table, pid, reader=node)
+        stack = PdtStack(self.config.write_pdt_flush_threshold)
+        replayed = 0
+        for record in records:
+            if record.kind == "commit":
+                _txn_id, entries = record.payload
+                stack.apply_replicated(entries)
+                replayed += 1
+            elif record.kind == "minmax":
+                stored.partitions[pid].minmax = (
+                    stored.partitions[pid].minmax.from_record(record.payload)
+                )
+        stored.pdt[pid] = stack
+        path = self.wal.partition_wal_path(table, pid)
+        return self.hdfs.file_size(path) if self.hdfs.exists(path) else 0
+
+    # --------------------------------------------- dynamic worker set (§4)
+    #
+    # The paper plans to "grow and shrink the worker set (not only
+    # cores/RAM) dynamically" in a future release; these methods implement
+    # that roadmap item on top of the same min-cost-flow machinery.
+
+    def add_worker(self, name: str, rebalance: bool = True) -> None:
+        """Grow the worker set with a fresh node.
+
+        The node registers with HDFS and YARN; with ``rebalance`` the
+        affinity maps are recomputed so the newcomer receives an even
+        share of partition copies (steered re-replication moves them) and
+        responsibilities rebalance onto it.
+        """
+        if name in self.workers:
+            raise ReproError(f"{name} already in the worker set")
+        if name not in self.hdfs.nodes or not self.hdfs.nodes[name].alive:
+            self.hdfs.add_node(name)
+        if name not in self.rm.node_managers:
+            self.rm.register_node(name, self.config.cores_per_node,
+                                  self.config.memory_per_node_mb)
+        if name not in self.dbagent.viable_machines:
+            self.dbagent.viable_machines.append(name)
+        self._pools.setdefault(name, BufferPool(self.hdfs))
+        self.workers = self.dbagent.negotiate_worker_set(
+            len(self.workers) + 1, self.db_path + "/"
+        )
+        if rebalance:
+            self._reassign_partitions()
+
+    def shrink_to_minimal_footprint(self) -> List[str]:
+        """Idle mode: concentrate responsibility on ceil(N/R) workers.
+
+        Section 4's minimal-resource scenario: with replication R every
+        partition has a copy on at least one member of a ceil(N/R)-sized
+        subset, so an idle VectorH can serve all data from that subset
+        with every IO still local. Returns the active subset; the other
+        workers keep their replicas but own no partitions.
+        """
+        import math
+        r = min(self.config.replication, len(self.workers))
+        n_active = math.ceil(len(self.workers) / r)
+        active = self._covering_subset(n_active)
+        self._reassign_partitions(responsibility_workers=active)
+        self.dbagent.shrink_footprint(len(self.dbagent.slices))
+        return active
+
+    def _covering_subset(self, n_target: int) -> List[str]:
+        """Greedy set cover: the smallest worker subset (>= n_target tried
+        first) holding a replica of every partition of every table."""
+        holder_sets: List[set] = []
+        for stored in self.tables.values():
+            for pid in range(stored.n_partitions):
+                holders = set()
+                for path in stored.partitions[pid].file_paths():
+                    holders.update(
+                        h for h in self.hdfs.replica_locations(path)
+                        if self.hdfs.nodes[h].alive
+                    )
+                if holders:
+                    holder_sets.append(holders)
+        active: List[str] = []
+        uncovered = [s for s in holder_sets]
+        while uncovered and len(active) < len(self.workers):
+            best = max(
+                (w for w in self.workers if w not in active),
+                key=lambda w: sum(1 for s in uncovered if w in s),
+            )
+            active.append(best)
+            uncovered = [s for s in uncovered if best not in s]
+        while len(active) < min(n_target, len(self.workers)):
+            extra = next(w for w in self.workers if w not in active)
+            active.append(extra)
+        return active
+
+    def restore_full_footprint(self) -> None:
+        """Leave idle mode: spread responsibilities over all workers."""
+        self._reassign_partitions()
+
+    def _reassign_partitions(
+        self, responsibility_workers: Optional[List[str]] = None
+    ) -> None:
+        """Joint affinity + responsibility recomputation (as on failover),
+        optionally restricting responsibility to a worker subset."""
+        resp_workers = responsibility_workers or self.workers
+        groups: Dict[int, List[str]] = {}
+        for tname, stored in self.tables.items():
+            groups.setdefault(stored.n_partitions, []).append(tname)
+        for n_parts, tnames in groups.items():
+            parts = list(range(n_parts))
+            local = {pid: set() for pid in parts}
+            for tname in tnames:
+                stored = self.tables[tname]
+                for pid in parts:
+                    for path in stored.partitions[pid].file_paths():
+                        for holder in self.hdfs.replica_locations(path):
+                            if self.hdfs.nodes[holder].alive:
+                                local[pid].add(holder)
+            amap = affinity_map(parts, self.workers, local,
+                                self.config.replication)
+            resp = responsibility_assignment(
+                parts, resp_workers,
+                {p: set(amap[p]) & set(resp_workers) for p in parts},
+            )
+            _pin_responsible_into_affinity(amap, resp)
+            for tname in tnames:
+                stored = self.tables[tname]
+                for pid in parts:
+                    self.placement.set_affinity(stored.partition_tag(pid),
+                                                amap[pid])
+                    old = self._responsibility.get((tname, pid))
+                    new = resp[pid]
+                    if old != new:
+                        self._responsibility[(tname, pid)] = new
+                        self._replay_pdt(tname, pid, new)
+        self.hdfs.rereplicate()
+        self.hdfs.rebalance()
+
+    # ----------------------------------------------------------------- statistics
+
+    def locality_report(self) -> Dict[str, float]:
+        return {
+            "short_circuit_fraction": self.hdfs.locality_fraction(),
+            "total_bytes_read": float(self.hdfs.total_bytes_read()),
+            "network_bytes": float(self.mpi.total_bytes),
+        }
+
+    def reset_io_counters(self) -> None:
+        self.hdfs.reset_counters()
+        self.mpi.reset()
+        for pool in self._pools.values():
+            pool.hits = pool.misses = pool.prefetches = 0
+
+    def clear_buffer_pools(self) -> None:
+        for pool in self._pools.values():
+            pool.clear()

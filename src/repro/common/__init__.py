@@ -1,0 +1,44 @@
+"""Shared kernel: column types, errors, configuration and deterministic RNG."""
+
+from repro.common.types import (
+    BOOL,
+    DATE,
+    DECIMAL,
+    FLOAT64,
+    INT32,
+    INT64,
+    STRING,
+    ColumnType,
+    date_to_days,
+    days_to_date,
+)
+from repro.common.errors import (
+    ConstraintViolation,
+    HdfsError,
+    ReproError,
+    StorageError,
+    TransactionAborted,
+    YarnError,
+)
+from repro.common.config import Config, DEFAULT_CONFIG
+
+__all__ = [
+    "BOOL",
+    "DATE",
+    "DECIMAL",
+    "FLOAT64",
+    "INT32",
+    "INT64",
+    "STRING",
+    "ColumnType",
+    "date_to_days",
+    "days_to_date",
+    "Config",
+    "DEFAULT_CONFIG",
+    "ReproError",
+    "HdfsError",
+    "YarnError",
+    "StorageError",
+    "TransactionAborted",
+    "ConstraintViolation",
+]

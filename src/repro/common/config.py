@@ -1,0 +1,63 @@
+"""Global tunables, scaled down from the paper's production defaults.
+
+The paper's defaults (512KB blocks, 8-block groups, 1024-block chunks,
+128MB+ HDFS blocks) are kept as named constants; tests and benchmarks use
+smaller values so multi-block / multi-chunk behaviour is exercised with
+laptop-sized data. All sizes are in bytes unless noted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Config:
+    """Configuration knobs for a VectorH cluster instance."""
+
+    # --- storage (paper section 3, "Original Layout") ----------------------
+    block_size: int = 512 * 1024  # compressed column block
+    blocks_per_group: int = 8  # IO unit = block_size * blocks_per_group
+    blocks_per_chunk: int = 1024  # block-chunk file granularity
+    vector_size: int = 1024  # tuples per vector in the engine
+
+    # --- HDFS ---------------------------------------------------------------
+    hdfs_block_size: int = 128 * 1024 * 1024
+    replication: int = 3  # R
+    short_circuit_overhead: float = 0.30  # vs direct IO (paper section 3)
+
+    # --- YARN / workload management -----------------------------------------
+    cores_per_node: int = 20
+    memory_per_node_mb: int = 256 * 1024
+
+    # --- PDT / transactions (paper section 6) --------------------------------
+    write_pdt_flush_threshold: int = 4096  # updates before Write->Read move
+    pdt_propagate_threshold: int = 16384  # updates before update propagation
+    pdt_propagate_fraction: float = 0.10  # in-memory tuple fraction trigger
+
+    # --- network ------------------------------------------------------------
+    mpi_message_size: int = 256 * 1024  # minimum for good MPI throughput
+
+    # --- misc ----------------------------------------------------------------
+    seed: int = 20160626  # SIGMOD'16 started June 26
+    extra: dict = field(default_factory=dict)
+
+    def scaled_for_tests(self) -> "Config":
+        """A copy with tiny block/chunk sizes so tests hit all code paths."""
+        return Config(
+            block_size=16 * 1024,
+            blocks_per_group=2,
+            blocks_per_chunk=8,
+            vector_size=128,
+            hdfs_block_size=64 * 1024,
+            replication=3,
+            cores_per_node=4,
+            memory_per_node_mb=4096,
+            write_pdt_flush_threshold=64,
+            pdt_propagate_threshold=256,
+            mpi_message_size=4 * 1024,
+            seed=self.seed,
+        )
+
+
+DEFAULT_CONFIG = Config()

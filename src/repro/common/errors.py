@@ -1,0 +1,49 @@
+"""Exception hierarchy for the VectorH reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch library failures without accidentally swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class HdfsError(ReproError):
+    """Raised by the simulated HDFS layer (missing file, bad append, ...)."""
+
+
+class YarnError(ReproError):
+    """Raised by the simulated YARN layer (no resources, bad container, ...)."""
+
+
+class StorageError(ReproError):
+    """Raised by the columnar storage layer (corrupt block, bad schema, ...)."""
+
+
+class CompressionError(StorageError):
+    """Raised when a block cannot be compressed or decompressed."""
+
+
+class PlanError(ReproError):
+    """Raised by the optimizer when no valid (distributed) plan exists."""
+
+
+class ExecutionError(ReproError):
+    """Raised by the query engine during operator execution."""
+
+
+class TransactionAborted(ReproError):
+    """Raised when optimistic concurrency control detects a conflict.
+
+    Mirrors VectorH's behaviour: write-write conflicts detected during
+    Trans-PDT serialization force the transaction to abort (paper section 6).
+    """
+
+
+class ConstraintViolation(TransactionAborted):
+    """Raised when a unique-key or foreign-key constraint check fails."""
+
+
+class SqlError(ReproError):
+    """Raised by the SQL front-end (lex/parse/bind errors)."""

@@ -1,0 +1,96 @@
+"""General-purpose and raw fallback schemes.
+
+``GeneralPurposeScheme`` wraps zlib and stands in for the Snappy/LZ4 codecs
+the Hadoop formats apply to *everything* -- the paper argues this adds
+decompression cost for little space gain over lightweight schemes, except
+for non-dictionary-compressible strings (where VectorH itself uses LZ4).
+``RawScheme`` stores values uncompressed and is the fallback of last resort.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.common.types import ColumnType
+from repro.compression.base import (
+    CompressedBlock,
+    CompressionScheme,
+    register_scheme,
+)
+
+
+def _strings_to_bytes(values) -> bytes:
+    parts = []
+    for v in values:
+        raw = str(v).encode("utf-8")
+        parts.append(struct.pack("<I", len(raw)))
+        parts.append(raw)
+    return b"".join(parts)
+
+
+def _bytes_to_strings(data: bytes, count: int) -> np.ndarray:
+    out = np.empty(count, dtype=object)
+    offset = 0
+    for i in range(count):
+        (length,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        out[i] = data[offset: offset + length].decode("utf-8")
+        offset += length
+    return out
+
+
+class RawScheme(CompressionScheme):
+    """Uncompressed storage; always applicable."""
+
+    name = "RAW"
+
+    def can_compress(self, values: np.ndarray, ctype: ColumnType) -> bool:
+        return True
+
+    def compress(self, values: np.ndarray, ctype: ColumnType) -> CompressedBlock:
+        if ctype.is_string:
+            data = _strings_to_bytes(values)
+        else:
+            data = np.ascontiguousarray(values, dtype=ctype.dtype).tobytes()
+        return CompressedBlock(self.name, len(values), data)
+
+    def decompress(self, block: CompressedBlock, ctype: ColumnType) -> np.ndarray:
+        if ctype.is_string:
+            return _bytes_to_strings(block.data, block.count)
+        return np.frombuffer(block.data, dtype=ctype.dtype).copy()
+
+
+class GeneralPurposeScheme(CompressionScheme):
+    """zlib over the raw encoding (our Snappy/LZ4 stand-in)."""
+
+    name = "LZ"
+
+    #: zlib level 1 approximates the speed/ratio point of LZ4/Snappy.
+    level = 1
+
+    def can_compress(self, values: np.ndarray, ctype: ColumnType) -> bool:
+        # Lightweight schemes beat LZ on integers; keep LZ for strings and
+        # floats, mirroring VectorH's "LZ4 only for non-dict strings".
+        return ctype.is_string or ctype.name == "float64"
+
+    def compress(self, values: np.ndarray, ctype: ColumnType) -> CompressedBlock:
+        if ctype.is_string:
+            raw = _strings_to_bytes(values)
+        else:
+            raw = np.ascontiguousarray(values, dtype=ctype.dtype).tobytes()
+        return CompressedBlock(
+            self.name, len(values), zlib.compress(raw, self.level)
+        )
+
+    def decompress(self, block: CompressedBlock, ctype: ColumnType) -> np.ndarray:
+        raw = zlib.decompress(block.data)
+        if ctype.is_string:
+            return _bytes_to_strings(raw, block.count)
+        return np.frombuffer(raw, dtype=ctype.dtype).copy()
+
+
+register_scheme(RawScheme())
+register_scheme(GeneralPurposeScheme())

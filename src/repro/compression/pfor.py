@@ -1,0 +1,89 @@
+"""PFOR: Patched Frame-Of-Reference compression (Zukowski et al., ICDE'06).
+
+Values are stored as the difference from a per-block base (the frame of
+reference) in ``width``-bit codes. Values whose difference does not fit are
+exceptions, stored as raw int64 at the end of the block and linked through
+their code slots.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.common.errors import CompressionError
+from repro.common.types import ColumnType
+from repro.compression import bitpack
+from repro.compression.base import (
+    CompressedBlock,
+    CompressionScheme,
+    decode_patched,
+    encode_patched,
+    register_scheme,
+)
+
+_HEADER = "<qiii"  # base, width, first_exception, n_exceptions
+
+
+def choose_width(deltas: np.ndarray) -> int:
+    """Pick the code width minimizing packed codes + exception storage."""
+    if deltas.size == 0:
+        return 1
+    max_delta = int(deltas.max())
+    full_width = min(bitpack.MAX_CODE_WIDTH, bitpack.width_for(max_delta))
+    best_width, best_size = full_width, None
+    for width in range(1, full_width + 1):
+        limit = 1 << width
+        n_exc = int((deltas >= limit).sum())
+        size = bitpack.packed_size(deltas.size, width) + 8 * n_exc
+        if best_size is None or size < best_size:
+            best_width, best_size = width, size
+    return best_width
+
+
+class PForScheme(CompressionScheme):
+    """Patched frame-of-reference for integer-like columns."""
+
+    name = "PFOR"
+
+    def can_compress(self, values: np.ndarray, ctype: ColumnType) -> bool:
+        return ctype.is_integer and values.dtype != object
+
+    def compress(self, values: np.ndarray, ctype: ColumnType) -> CompressedBlock:
+        vals = np.asarray(values, dtype=np.int64)
+        if vals.size == 0:
+            data = struct.pack(_HEADER, 0, 1, -1, 0)
+            return CompressedBlock(self.name, 0, data)
+        base = int(vals.min())
+        deltas = vals - base
+        width = choose_width(deltas)
+        limit = 1 << width
+        is_exc = deltas >= limit
+        codes = np.where(is_exc, 0, deltas)
+        codes, chain, first = encode_patched(codes, is_exc, width)
+        exceptions = deltas[chain] if chain else np.zeros(0, dtype=np.int64)
+        packed = bitpack.pack_bits(codes, width)
+        header = struct.pack(_HEADER, base, width, first, len(chain))
+        data = header + exceptions.astype("<i8").tobytes() + packed
+        return CompressedBlock(self.name, int(vals.size), data)
+
+    def decompress(self, block: CompressedBlock, ctype: ColumnType) -> np.ndarray:
+        hsize = struct.calcsize(_HEADER)
+        base, width, first, n_exc = struct.unpack(_HEADER, block.data[:hsize])
+        body = block.data[hsize:]
+        exceptions = np.frombuffer(body[: 8 * n_exc], dtype="<i8")
+        codes = bitpack.unpack_bits(body[8 * n_exc:], width, block.count)
+        # Phase 1: branch-free inflation of every code.
+        out = base + codes
+        # Phase 2: patch the exceptions by hopping the chain.
+        if first >= 0:
+            def patch(pos: int, idx: int) -> None:
+                out[pos] = base + int(exceptions[idx])
+            decode_patched(codes, first, patch)
+        if out.size != block.count:
+            raise CompressionError("PFOR count mismatch")
+        return out.astype(ctype.dtype)
+
+
+register_scheme(PForScheme())

@@ -1,0 +1,25 @@
+"""Spark-VectorH connector and the vwload bulk loader (paper section 7).
+
+The connector models SparkSQL's Data Source API path: an input RDD with one
+partition per HDFS block, a ``VectorHRDD`` with one partition per
+ExternalScan operator overriding ``getPreferredLocations()``, and a
+NarrowDependency computed by bipartite matching so Spark schedules each
+input partition next to the VectorH operator that can read it with a
+short-circuit HDFS read.
+"""
+
+from repro.connector.rdd import InputRdd, RddPartition, VectorHRdd
+from repro.connector.matching import match_partitions
+from repro.connector.external import ExternalScanOperator, spark_load
+from repro.connector.vwload import VwLoadOptions, vwload
+
+__all__ = [
+    "InputRdd",
+    "RddPartition",
+    "VectorHRdd",
+    "match_partitions",
+    "ExternalScanOperator",
+    "spark_load",
+    "VwLoadOptions",
+    "vwload",
+]

@@ -1,0 +1,60 @@
+"""The vectorized query engine.
+
+All operations process *vectors* of ~1024 values at a time (here: numpy
+slices), the execution model Vectorwise pioneered [MonetDB/X100, CIDR'05]:
+query-interpretation overhead is amortized over a whole vector and the
+per-value work runs in tight (numpy) kernels -- the Python analogue of the
+SIMD-friendly loops the paper credits with an order of magnitude over
+tuple-at-a-time engines (which :mod:`repro.baselines.rowengine` implements
+for comparison, sharing these same expression trees).
+"""
+
+from repro.engine.batch import Batch, batches_from_columns, concat_batches
+from repro.engine.expressions import (
+    Add,
+    And,
+    Between,
+    Case,
+    Col,
+    Const,
+    Div,
+    Eq,
+    Expr,
+    ExtractYear,
+    Ge,
+    Gt,
+    InList,
+    Le,
+    Like,
+    Lt,
+    Mul,
+    Ne,
+    Not,
+    Or,
+    Sub,
+)
+from repro.engine.operators import (
+    HashAggr,
+    HashJoin,
+    MergeJoin,
+    Operator,
+    Project,
+    Select,
+    Sort,
+    TopN,
+    UnionAll,
+    VectorSource,
+)
+from repro.engine.profile import ProfileNode, format_profile
+
+__all__ = [
+    "Batch",
+    "batches_from_columns",
+    "concat_batches",
+    "Expr", "Col", "Const", "Add", "Sub", "Mul", "Div",
+    "Eq", "Ne", "Lt", "Le", "Gt", "Ge", "And", "Or", "Not",
+    "Between", "InList", "Like", "Case", "ExtractYear",
+    "Operator", "VectorSource", "Select", "Project", "HashAggr",
+    "HashJoin", "MergeJoin", "Sort", "TopN", "UnionAll",
+    "ProfileNode", "format_profile",
+]

@@ -1,0 +1,76 @@
+"""Vector batches: the unit of data flow between operators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Batch:
+    """A horizontal slice of up to ``vector_size`` tuples, column-wise."""
+
+    columns: Dict[str, np.ndarray]
+    n: int
+
+    @classmethod
+    def from_columns(cls, columns: Dict[str, np.ndarray]) -> "Batch":
+        n = len(next(iter(columns.values()))) if columns else 0
+        return cls(dict(columns), n)
+
+    def select(self, mask: np.ndarray) -> "Batch":
+        return Batch({k: v[mask] for k, v in self.columns.items()},
+                     int(mask.sum()))
+
+    def take(self, index: np.ndarray) -> "Batch":
+        return Batch({k: v[index] for k, v in self.columns.items()},
+                     len(index))
+
+    def project(self, names: Sequence[str]) -> "Batch":
+        return Batch({k: self.columns[k] for k in names}, self.n)
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self.columns)
+
+
+def batches_from_columns(columns: Dict[str, np.ndarray],
+                         vector_size: int) -> Iterator[Batch]:
+    """Slice a materialized column set into engine-sized vectors.
+
+    An empty (0-row) column set still yields one empty batch so column
+    names and dtypes propagate through the operator tree -- empty
+    partitions must not erase the schema.
+    """
+    if not columns:
+        return
+    n = len(next(iter(columns.values())))
+    if n == 0:
+        yield Batch(dict(columns), 0)
+        return
+    for start in range(0, n, vector_size):
+        end = min(start + vector_size, n)
+        yield Batch({k: v[start:end] for k, v in columns.items()},
+                    end - start)
+
+
+def concat_batches(batches: Iterable[Batch]) -> Batch:
+    """Materialize a batch stream into one batch (sorts, builds, results)."""
+    template: Batch | None = None
+    full = []
+    for b in batches:
+        if template is None and b.columns:
+            template = b
+        if b.n:
+            full.append(b)
+    if not full:
+        if template is not None:
+            return Batch({k: v[:0] for k, v in template.columns.items()}, 0)
+        return Batch({}, 0)
+    names = full[0].column_names
+    return Batch(
+        {k: np.concatenate([b.columns[k] for b in full]) for k in names},
+        sum(b.n for b in full),
+    )

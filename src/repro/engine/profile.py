@@ -1,0 +1,59 @@
+"""Per-operator execution profiles, like the paper's appendix Q1 profile.
+
+Every operator records wall time spent inside it (``cum_time`` includes its
+children, ``time`` is self-only), tuples in/out and, for parallel plans,
+one sample per stream -- enough to print the operator tree with the same
+shape of annotations as VectorH's graphical profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class ProfileNode:
+    label: str
+    cum_time: float = 0.0
+    tuples_in: int = 0
+    tuples_out: int = 0
+    children: List["ProfileNode"] = field(default_factory=list)
+    stream_times: List[float] = field(default_factory=list)
+
+    @property
+    def time(self) -> float:
+        """Self time: cumulative minus the children's cumulative."""
+        return max(0.0, self.cum_time - sum(c.cum_time for c in self.children))
+
+    def merge_stream(self, other: "ProfileNode") -> None:
+        """Fold another stream's profile of the same operator into this one."""
+        self.cum_time = max(self.cum_time, other.cum_time)
+        self.tuples_in += other.tuples_in
+        self.tuples_out += other.tuples_out
+        self.stream_times.append(other.cum_time)
+        for mine, theirs in zip(self.children, other.children):
+            mine.merge_stream(theirs)
+
+
+def format_profile(node: ProfileNode, total_time: Optional[float] = None,
+                   indent: int = 0) -> str:
+    """Render the profile tree the way the paper's appendix does."""
+    if total_time is None:
+        total_time = node.cum_time or 1e-12
+    pct = 100.0 * node.cum_time / total_time
+    lines = []
+    pad = "  " * indent
+    streams = ""
+    if len(node.stream_times) > 1:
+        lo, hi = min(node.stream_times), max(node.stream_times)
+        streams = f" on {len(node.stream_times)} streams [{lo:.4f}s..{hi:.4f}s]"
+    lines.append(
+        f"{pad}{node.label}{streams}\n"
+        f"{pad}  time = {node.time:.4f}s  cum_time = {node.cum_time:.4f}s "
+        f"({pct:.2f}%)\n"
+        f"{pad}  in = {node.tuples_in:,}  out = {node.tuples_out:,}"
+    )
+    for child in node.children:
+        lines.append(format_profile(child, total_time, indent + 1))
+    return "\n".join(lines)

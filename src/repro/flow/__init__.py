@@ -1,0 +1,23 @@
+"""Min-cost flow algorithms for worker/affinity/responsibility assignment.
+
+Paper section 4 ("Min-cost Flow Network Algorithms", Figure 3): dbAgent
+models partition placement as a bipartite flow network -- partitions on the
+left, workers on the right, cost 0 edges where a partition is already local
+and cost 1 where a move would be needed -- and solves min-cost matching
+problems for (i) worker-set selection, (ii) the data affinity map and
+(iii) the responsibility assignment.
+"""
+
+from repro.flow.mincost import MinCostFlow
+from repro.flow.assignment import (
+    affinity_map,
+    responsibility_assignment,
+    select_worker_set,
+)
+
+__all__ = [
+    "MinCostFlow",
+    "affinity_map",
+    "responsibility_assignment",
+    "select_worker_set",
+]

@@ -1,0 +1,107 @@
+"""dbAgent's three assignment problems as min-cost-flow instances (Fig. 3).
+
+All three share the bipartite shape: source -> partitions -> workers -> sink.
+
+* **Affinity map** -- source->partition edges carry capacity R (the HDFS
+  replication degree): each partition must be stored at R distinct workers.
+  Partition->worker edges have capacity 1 and cost 0 where the partition is
+  already local, 1 otherwise. Worker->sink capacity is the per-worker
+  partition budget ``ceil(P * R / N)``.
+* **Responsibility assignment** -- identical network, but source->partition
+  capacity is 1 (one responsible node per partition) and the worker budget
+  is ``ceil(P / N)``.
+* **Worker-set selection** -- pick the N candidate machines with most local
+  bytes among those with sufficient YARN resources.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Mapping, Sequence, Set
+
+from repro.flow.mincost import MinCostFlow
+
+_SOURCE = ("__flow__", "s")
+_SINK = ("__flow__", "t")
+
+
+def _solve_bipartite(
+    partitions: Sequence[Hashable],
+    workers: Sequence[str],
+    local: Mapping[Hashable, Set[str]],
+    copies_per_partition: int,
+    per_worker_capacity: int,
+) -> Dict[Hashable, List[str]]:
+    """Shared network builder for affinity and responsibility problems."""
+    net = MinCostFlow()
+    edge_ids: Dict[tuple, int] = {}
+    for p in partitions:
+        net.add_edge(_SOURCE, ("p", p), copies_per_partition, 0)
+        local_here = local.get(p, set())
+        for w in workers:
+            cost = 0 if w in local_here else 1
+            edge_ids[(p, w)] = net.add_edge(("p", p), ("w", w), 1, cost)
+    for w in workers:
+        net.add_edge(("w", w), _SINK, per_worker_capacity, 0)
+    need = copies_per_partition * len(partitions)
+    net.solve(_SOURCE, _SINK, need)
+    result: Dict[Hashable, List[str]] = {p: [] for p in partitions}
+    for (p, w), eid in edge_ids.items():
+        if net.flow_on(eid) > 0:
+            result[p].append(w)
+    # Keep already-local workers first so responsible nodes prefer locality.
+    for p in partitions:
+        local_here = local.get(p, set())
+        result[p].sort(key=lambda w: (w not in local_here, workers.index(w)))
+    return result
+
+
+def affinity_map(
+    partitions: Sequence[Hashable],
+    workers: Sequence[str],
+    local: Mapping[Hashable, Set[str]],
+    replication: int,
+) -> Dict[Hashable, List[str]]:
+    """Where should the R copies of each partition live?
+
+    Minimizes the number of partition copies that must move, subject to an
+    even per-worker storage budget.
+    """
+    if not workers:
+        raise ValueError("no workers")
+    r = min(replication, len(workers))
+    capacity = math.ceil(len(partitions) * r / len(workers))
+    return _solve_bipartite(partitions, workers, local, r, capacity)
+
+
+def responsibility_assignment(
+    partitions: Sequence[Hashable],
+    workers: Sequence[str],
+    local: Mapping[Hashable, Set[str]],
+) -> Dict[Hashable, str]:
+    """Which single worker is responsible for each partition?
+
+    Same flow network with source->partition capacity 1 and an even
+    per-worker partition budget ``ceil(P/N)``.
+    """
+    if not workers:
+        raise ValueError("no workers")
+    capacity = math.ceil(len(partitions) / len(workers))
+    picked = _solve_bipartite(partitions, workers, local, 1, capacity)
+    return {p: nodes[0] for p, nodes in picked.items() if nodes}
+
+
+def select_worker_set(
+    candidates: Sequence[str],
+    num_workers: int,
+    local_bytes: Mapping[str, int],
+    available_resources: Mapping[str, bool],
+) -> List[str]:
+    """Pick the ``num_workers`` viable machines with the most local data.
+
+    Machines without sufficient free YARN resources are excluded; if fewer
+    than ``num_workers`` qualify the worker set shrinks (paper section 4).
+    """
+    viable = [c for c in candidates if available_resources.get(c, False)]
+    viable.sort(key=lambda c: (-local_bytes.get(c, 0), candidates.index(c)))
+    return viable[:num_workers]

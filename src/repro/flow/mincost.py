@@ -1,0 +1,106 @@
+"""Min-cost max-flow via successive shortest paths (SPFA variant).
+
+Self-contained implementation sized for dbAgent's bipartite networks
+(hundreds of partitions x tens of workers); costs are small non-negative
+integers, capacities small, so SPFA with potentials is more than fast
+enough and keeps the library dependency-free.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Tuple
+
+INF = float("inf")
+
+
+class MinCostFlow:
+    """A directed flow network with per-edge capacity and cost."""
+
+    def __init__(self):
+        self._index: Dict[Hashable, int] = {}
+        self._names: List[Hashable] = []
+        # adjacency: for each node, list of edge ids
+        self._graph: List[List[int]] = []
+        # edge arrays: to, capacity, cost; reverse edge is id ^ 1
+        self._to: List[int] = []
+        self._cap: List[int] = []
+        self._cost: List[int] = []
+
+    def _node(self, name: Hashable) -> int:
+        idx = self._index.get(name)
+        if idx is None:
+            idx = len(self._names)
+            self._index[name] = idx
+            self._names.append(name)
+            self._graph.append([])
+        return idx
+
+    def add_edge(self, src: Hashable, dst: Hashable,
+                 capacity: int, cost: int) -> int:
+        """Add edge src->dst; returns the edge id (for flow inspection)."""
+        u, v = self._node(src), self._node(dst)
+        edge_id = len(self._to)
+        self._graph[u].append(edge_id)
+        self._to.append(v)
+        self._cap.append(capacity)
+        self._cost.append(cost)
+        self._graph[v].append(edge_id + 1)
+        self._to.append(u)
+        self._cap.append(0)
+        self._cost.append(-cost)
+        return edge_id
+
+    def flow_on(self, edge_id: int) -> int:
+        """Flow pushed through an edge added with :meth:`add_edge`."""
+        return self._cap[edge_id ^ 1]
+
+    def solve(self, source: Hashable, sink: Hashable,
+              max_flow: int | None = None) -> Tuple[int, int]:
+        """Push up to ``max_flow`` units; returns (flow, total_cost)."""
+        s, t = self._node(source), self._node(sink)
+        remaining = INF if max_flow is None else max_flow
+        flow = 0
+        cost = 0
+        n = len(self._names)
+        while remaining > 0:
+            # SPFA shortest path by cost on the residual network.
+            dist = [INF] * n
+            in_queue = [False] * n
+            prev_edge = [-1] * n
+            dist[s] = 0
+            queue = deque([s])
+            while queue:
+                u = queue.popleft()
+                in_queue[u] = False
+                for eid in self._graph[u]:
+                    if self._cap[eid] <= 0:
+                        continue
+                    v = self._to[eid]
+                    nd = dist[u] + self._cost[eid]
+                    if nd < dist[v]:
+                        dist[v] = nd
+                        prev_edge[v] = eid
+                        if not in_queue[v]:
+                            in_queue[v] = True
+                            queue.append(v)
+            if dist[t] == INF:
+                break
+            # Find bottleneck along the path.
+            push = remaining
+            v = t
+            while v != s:
+                eid = prev_edge[v]
+                push = min(push, self._cap[eid])
+                v = self._to[eid ^ 1]
+            # Apply.
+            v = t
+            while v != s:
+                eid = prev_edge[v]
+                self._cap[eid] -= push
+                self._cap[eid ^ 1] += push
+                v = self._to[eid ^ 1]
+            flow += push
+            cost += push * dist[t]
+            remaining -= push
+        return flow, cost

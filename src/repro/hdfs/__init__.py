@@ -1,0 +1,26 @@
+"""Simulated HDFS: append-only files, replication, pluggable block placement.
+
+This is the substrate substitution for a real Hadoop filesystem (DESIGN.md
+section 1). Bytes are held in memory; what is *real* is everything VectorH's
+contribution depends on: the append-only restriction, per-file replica sets
+(default policy: first copy on the writer), a registrable
+``BlockPlacementPolicy`` consulted on append **and** re-replication, node
+failures with namenode-driven re-replication, and short-circuit (local) vs
+remote read accounting.
+"""
+
+from repro.hdfs.cluster import DataNode, HdfsCluster, HdfsFile
+from repro.hdfs.placement import (
+    BlockPlacementPolicy,
+    DefaultPlacementPolicy,
+    VectorHPlacementPolicy,
+)
+
+__all__ = [
+    "HdfsCluster",
+    "HdfsFile",
+    "DataNode",
+    "BlockPlacementPolicy",
+    "DefaultPlacementPolicy",
+    "VectorHPlacementPolicy",
+]

@@ -1,0 +1,257 @@
+"""The in-process HDFS cluster: namenode + datanodes + files.
+
+Files are append-only byte streams. Every file has a replica set of up to R
+datanodes chosen by the registered placement policy; all blocks of a file
+live on the same replica set (matching stock HDFS per-file policy calls).
+Reads are *short-circuit* (local, cheap) when the reader node holds a
+replica, remote otherwise; both are counted per datanode so benchmarks can
+report locality percentages and remote-byte volumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.config import Config, DEFAULT_CONFIG
+from repro.common.errors import HdfsError
+from repro.hdfs.placement import BlockPlacementPolicy, DefaultPlacementPolicy
+
+
+@dataclass
+class DataNode:
+    """A datanode: alive flag plus IO accounting."""
+
+    name: str
+    alive: bool = True
+    bytes_stored: int = 0
+    bytes_read_local: int = 0  # short-circuit reads
+    bytes_read_remote: int = 0  # served to a non-local reader
+    bytes_written: int = 0
+    bytes_rereplicated: int = 0
+
+    def reset_counters(self) -> None:
+        self.bytes_read_local = 0
+        self.bytes_read_remote = 0
+        self.bytes_written = 0
+        self.bytes_rereplicated = 0
+
+
+@dataclass
+class HdfsFile:
+    """An append-only file and the datanodes holding its replicas."""
+
+    path: str
+    data: bytearray = field(default_factory=bytearray)
+    replicas: List[str] = field(default_factory=list)
+    replication: int = 3
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+class HdfsCluster:
+    """Namenode + datanodes. The single entry point for all file IO."""
+
+    def __init__(
+        self,
+        node_names: List[str],
+        config: Config = DEFAULT_CONFIG,
+        placement_policy: Optional[BlockPlacementPolicy] = None,
+    ):
+        self.config = config
+        self.nodes: Dict[str, DataNode] = {
+            name: DataNode(name) for name in node_names
+        }
+        self.files: Dict[str, HdfsFile] = {}
+        self.placement_policy = placement_policy or DefaultPlacementPolicy(
+            seed=config.seed
+        )
+
+    # -- namespace -----------------------------------------------------------
+
+    def alive_nodes(self) -> List[str]:
+        return [n.name for n in self.nodes.values() if n.alive]
+
+    def exists(self, path: str) -> bool:
+        return path in self.files
+
+    def list_files(self, prefix: str = "") -> List[str]:
+        return sorted(p for p in self.files if p.startswith(prefix))
+
+    def file_size(self, path: str) -> int:
+        return self._file(path).size
+
+    def replica_locations(self, path: str) -> List[str]:
+        return list(self._file(path).replicas)
+
+    def _file(self, path: str) -> HdfsFile:
+        f = self.files.get(path)
+        if f is None:
+            raise HdfsError(f"no such file: {path}")
+        return f
+
+    # -- writes --------------------------------------------------------------
+
+    def create(self, path: str, writer: str | None = None,
+               replication: int | None = None) -> HdfsFile:
+        """Create an empty file; replica targets come from the policy."""
+        if path in self.files:
+            raise HdfsError(f"file exists: {path}")
+        r = replication if replication is not None else self.config.replication
+        targets = self.placement_policy.choose_targets(
+            path, writer, r, self.alive_nodes()
+        )
+        if not targets:
+            raise HdfsError("no alive datanodes for placement")
+        f = HdfsFile(path=path, replicas=targets, replication=r)
+        self.files[path] = f
+        return f
+
+    def append(self, path: str, data: bytes, writer: str | None = None) -> None:
+        """Append bytes; HDFS supports no other mutation."""
+        f = self._file(path)
+        f.data.extend(data)
+        for name in f.replicas:
+            node = self.nodes[name]
+            node.bytes_stored += len(data)
+            node.bytes_written += len(data)
+
+    def write_file(self, path: str, data: bytes, writer: str | None = None,
+                   replication: int | None = None) -> None:
+        """create + append in one step (the common pattern for chunk files)."""
+        self.create(path, writer, replication)
+        self.append(path, data, writer)
+
+    def delete(self, path: str) -> None:
+        f = self.files.pop(path, None)
+        if f is None:
+            raise HdfsError(f"no such file: {path}")
+        for name in f.replicas:
+            if name in self.nodes:
+                self.nodes[name].bytes_stored -= f.size
+
+    # -- reads ---------------------------------------------------------------
+
+    def read(self, path: str, offset: int = 0, length: int | None = None,
+             reader: str | None = None) -> bytes:
+        """Read a byte range, accounting short-circuit vs remote IO.
+
+        If ``reader`` holds a replica the read is short-circuited (local
+        disk, bypassing the datanode protocol); otherwise it is served
+        remotely by the first alive replica holder.
+        """
+        f = self._file(path)
+        if length is None:
+            length = f.size - offset
+        data = bytes(f.data[offset: offset + length])
+        alive_holders = [n for n in f.replicas if self.nodes[n].alive]
+        if not alive_holders:
+            raise HdfsError(f"all replicas of {path} are on dead nodes")
+        if reader is not None and reader in alive_holders:
+            self.nodes[reader].bytes_read_local += len(data)
+        else:
+            self.nodes[alive_holders[0]].bytes_read_remote += len(data)
+        return data
+
+    def is_local(self, path: str, node: str) -> bool:
+        f = self._file(path)
+        return node in f.replicas and self.nodes[node].alive
+
+    # -- failures & re-replication --------------------------------------------
+
+    def mark_node_dead(self, name: str) -> None:
+        """Mark a datanode dead without re-replicating yet.
+
+        Used by VectorH's failure handling, which first recomputes the
+        affinity map (so the placement policy steers re-replication to the
+        right survivors) and only then triggers :meth:`rereplicate`.
+        """
+        node = self.nodes.get(name)
+        if node is None or not node.alive:
+            raise HdfsError(f"cannot fail node {name}")
+        node.alive = False
+
+    def fail_node(self, name: str) -> int:
+        """Kill a datanode, then re-replicate under-replicated files.
+
+        Returns the number of files that received a new replica. New targets
+        come from the *registered* placement policy -- the hook that lets
+        VectorH preserve partition affinity through failures.
+        """
+        node = self.nodes.get(name)
+        if node is None or not node.alive:
+            raise HdfsError(f"cannot fail node {name}")
+        node.alive = False
+        return self.rereplicate()
+
+    def add_node(self, name: str) -> None:
+        if name in self.nodes and self.nodes[name].alive:
+            raise HdfsError(f"node already present: {name}")
+        self.nodes[name] = DataNode(name)
+
+    def rereplicate(self) -> int:
+        """Bring every file back to its replication degree."""
+        alive = self.alive_nodes()
+        repaired = 0
+        for f in self.files.values():
+            live = [n for n in f.replicas if self.nodes[n].alive]
+            missing = min(f.replication, len(alive)) - len(live)
+            if missing <= 0:
+                f.replicas = live
+                continue
+            new_targets = self.placement_policy.choose_targets(
+                f.path, None, missing, alive, current_holders=live
+            )
+            for target in new_targets:
+                live.append(target)
+                self.nodes[target].bytes_stored += f.size
+                self.nodes[target].bytes_rereplicated += f.size
+            f.replicas = live
+            repaired += 1
+        return repaired
+
+    def rebalance(self) -> int:
+        """Namenode re-balancing: move replicas of policy-pinned files to
+        their desired datanodes (the other hook VectorH's instrumented
+        placement serves). Returns the number of files adjusted."""
+        pinned = getattr(self.placement_policy, "pinned_targets", None)
+        if pinned is None:
+            return 0
+        alive = self.alive_nodes()
+        moved = 0
+        for f in self.files.values():
+            desired = pinned(f.path, alive)
+            if not desired:
+                continue
+            current = [n for n in f.replicas if self.nodes[n].alive]
+            if set(desired) == set(current):
+                continue
+            for target in desired:
+                if target not in current:
+                    self.nodes[target].bytes_stored += f.size
+                    self.nodes[target].bytes_rereplicated += f.size
+            for holder in current:
+                if holder not in desired:
+                    self.nodes[holder].bytes_stored -= f.size
+            f.replicas = list(desired)
+            moved += 1
+        return moved
+
+    # -- statistics ------------------------------------------------------------
+
+    def locality_fraction(self) -> float:
+        """Fraction of all read bytes served short-circuit."""
+        local = sum(n.bytes_read_local for n in self.nodes.values())
+        remote = sum(n.bytes_read_remote for n in self.nodes.values())
+        total = local + remote
+        return 1.0 if total == 0 else local / total
+
+    def total_bytes_read(self) -> int:
+        return sum(n.bytes_read_local + n.bytes_read_remote
+                   for n in self.nodes.values())
+
+    def reset_counters(self) -> None:
+        for node in self.nodes.values():
+            node.reset_counters()

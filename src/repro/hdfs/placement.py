@@ -1,0 +1,106 @@
+"""Block placement policies (paper section 3, "Instrumenting HDFS Replication").
+
+HDFS lets a client register a ``BlockPlacementPolicy`` whose
+``choose_targets()`` receives the file path and returns the datanodes that
+should hold the replicas. It is consulted both when a client appends and
+when the namenode re-replicates in the background -- which is exactly the
+hook VectorH instruments to keep table partitions co-located even as the
+cluster composition changes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+
+class BlockPlacementPolicy:
+    """Interface: pick replica target datanodes for a file."""
+
+    def choose_targets(
+        self,
+        path: str,
+        writer: str | None,
+        n_replicas: int,
+        alive_nodes: Sequence[str],
+        current_holders: Sequence[str] = (),
+    ) -> List[str]:
+        """Return up to ``n_replicas`` datanode names (excluding holders)."""
+        raise NotImplementedError
+
+
+class DefaultPlacementPolicy(BlockPlacementPolicy):
+    """Stock HDFS behaviour: first copy on the writer, the rest random.
+
+    (We have no rack topology; the namenode-chosen replicas are a seeded
+    random spread, which is what the paper says degrades affinity whenever
+    nodes fail or the worker set changes.)
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def choose_targets(self, path, writer, n_replicas, alive_nodes,
+                       current_holders=()):
+        targets: List[str] = []
+        holders = set(current_holders)
+        if writer is not None and writer in alive_nodes and writer not in holders:
+            targets.append(writer)
+        pool = [n for n in alive_nodes
+                if n not in holders and n not in targets]
+        self._rng.shuffle(pool)
+        targets.extend(pool[: n_replicas - len(targets)])
+        return targets[:n_replicas]
+
+
+class VectorHPlacementPolicy(BlockPlacementPolicy):
+    """VectorH's instrumented policy: place by partition affinity map.
+
+    ``affinity`` maps a *partition tag* (a substring that VectorH embeds in
+    every chunk-file path, e.g. ``"R/part-0004"``) to the ordered list of
+    datanodes that should hold its replicas -- the responsible node first.
+    Files whose path matches no tag fall back to the default policy.
+    """
+
+    def __init__(self, fallback: BlockPlacementPolicy | None = None):
+        self.affinity: Dict[str, List[str]] = {}
+        self._fallback = fallback or DefaultPlacementPolicy()
+
+    def set_affinity(self, partition_tag: str, nodes: List[str]) -> None:
+        """Pin all files of a partition to ``nodes`` (responsible first)."""
+        self.affinity[partition_tag] = list(nodes)
+
+    def partition_tag_for(self, path: str) -> str | None:
+        for tag in self.affinity:
+            if tag in path:
+                return tag
+        return None
+
+    def pinned_targets(self, path: str, alive_nodes) -> Optional[List[str]]:
+        """The full replica set the affinity map pins this file to, or
+        None for files outside any partition (the namenode's re-balancer
+        only moves pinned files)."""
+        tag = self.partition_tag_for(path)
+        if tag is None:
+            return None
+        alive = set(alive_nodes)
+        return [n for n in self.affinity[tag] if n in alive]
+
+    def choose_targets(self, path, writer, n_replicas, alive_nodes,
+                       current_holders=()):
+        tag = self.partition_tag_for(path)
+        if tag is None:
+            return self._fallback.choose_targets(
+                path, writer, n_replicas, alive_nodes, current_holders
+            )
+        holders = set(current_holders)
+        alive = set(alive_nodes)
+        targets = [n for n in self.affinity[tag]
+                   if n in alive and n not in holders]
+        if len(targets) < n_replicas:
+            extra = self._fallback.choose_targets(
+                path, writer, n_replicas - len(targets), alive_nodes,
+                list(holders | set(targets)),
+            )
+            targets.extend(extra)
+        return targets[:n_replicas]

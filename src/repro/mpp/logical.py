@@ -1,0 +1,194 @@
+"""Logical query plans: what the SQL front-end / plan builders produce.
+
+A logical plan is serial and distribution-free; the Parallel Rewriter turns
+it into a distributed physical plan, and the baseline row engine interprets
+the *same* logical plan tuple-at-a-time -- keeping system comparisons
+apples-to-apples at the plan level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.expressions import Expr
+from repro.engine.operators import AggSpec
+
+
+class LogicalPlan:
+    """Base logical node."""
+
+    children: tuple = ()
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class LScan(LogicalPlan):
+    """Scan a stored table.
+
+    ``skip_predicates`` are conjunctive ``(column, op, literal)`` triples
+    given to the storage layer for MinMax block skipping; exact filtering
+    still needs an LSelect above.
+    """
+
+    table: str
+    columns: List[str]
+    skip_predicates: List[Tuple[str, str, object]] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.children = ()
+
+
+@dataclass
+class LSelect(LogicalPlan):
+    child: LogicalPlan
+    predicate: Expr
+
+    def __post_init__(self):
+        self.children = (self.child,)
+
+
+@dataclass
+class LProject(LogicalPlan):
+    child: LogicalPlan
+    outputs: Dict[str, Expr]
+
+    def __post_init__(self):
+        self.children = (self.child,)
+
+
+@dataclass
+class LJoin(LogicalPlan):
+    """Join with explicit build (right-ish, usually smaller) side.
+
+    ``probe`` is streamed, ``build`` is materialized. ``how`` is one of
+    inner/left/semi/anti (left preserves probe rows and adds ``__matched``).
+    """
+
+    build: LogicalPlan
+    probe: LogicalPlan
+    build_keys: List[str]
+    probe_keys: List[str]
+    how: str = "inner"
+    build_payload: Optional[List[str]] = None
+
+    def __post_init__(self):
+        self.children = (self.build, self.probe)
+
+
+@dataclass
+class LAggr(LogicalPlan):
+    child: LogicalPlan
+    group_by: List[str]
+    aggregates: List[AggSpec]
+
+    def __post_init__(self):
+        self.children = (self.child,)
+
+
+@dataclass
+class LSort(LogicalPlan):
+    child: LogicalPlan
+    keys: List[str]
+    ascending: Optional[List[bool]] = None
+
+    def __post_init__(self):
+        self.children = (self.child,)
+
+
+@dataclass
+class LTopN(LogicalPlan):
+    child: LogicalPlan
+    keys: List[str]
+    n: int
+    ascending: Optional[List[bool]] = None
+
+    def __post_init__(self):
+        self.children = (self.child,)
+
+
+@dataclass
+class LLimit(LogicalPlan):
+    child: LogicalPlan
+    n: int
+
+    def __post_init__(self):
+        self.children = (self.child,)
+
+
+@dataclass
+class LUnionAll(LogicalPlan):
+    """Concatenation of compatible inputs (same output columns)."""
+
+    inputs: List[LogicalPlan]
+
+    def __post_init__(self):
+        self.children = tuple(self.inputs)
+
+
+def rollup(child_factory, keys: Sequence[str], aggregates,
+           placeholders: Dict[str, object]) -> LogicalPlan:
+    """Build a ROLLUP as a union of aggregations (paper section 1 names
+    ROLL UP / GROUPING SETS among the analytical SQL VectorH serves).
+
+    ``child_factory()`` must return a fresh logical subtree per grouping
+    level (logical nodes are single-use); level *i* groups by the first
+    ``len(keys)-i`` keys, with dropped keys replaced by their placeholder
+    value, down to the grand total.
+    """
+    from repro.engine.expressions import Col, Const
+
+    levels = []
+    for depth in range(len(keys), -1, -1):
+        group = list(keys[:depth])
+        aggr = LAggr(child_factory(), group, list(aggregates))
+        outputs = {}
+        for key in keys:
+            outputs[key] = Col(key) if key in group \
+                else Const(placeholders[key])
+        for name, _, _ in aggregates:
+            outputs[name] = Col(name)
+        outputs["__grouping_level"] = Const(depth)
+        levels.append(LProject(aggr, outputs))
+    return LUnionAll(levels)
+
+
+def grouping_sets(child_factory, sets: Sequence[Sequence[str]],
+                  all_keys: Sequence[str], aggregates,
+                  placeholders: Dict[str, object]) -> LogicalPlan:
+    """GROUPING SETS as a union of one aggregation per requested set."""
+    from repro.engine.expressions import Col, Const
+
+    branches = []
+    for group in sets:
+        aggr = LAggr(child_factory(), list(group), list(aggregates))
+        outputs = {}
+        for key in all_keys:
+            outputs[key] = Col(key) if key in group \
+                else Const(placeholders[key])
+        for name, _, _ in aggregates:
+            outputs[name] = Col(name)
+        branches.append(LProject(aggr, outputs))
+    return LUnionAll(branches)
+
+
+@dataclass
+class LWindow(LogicalPlan):
+    """Window functions: ``fn(...) OVER (PARTITION BY ... ORDER BY ...)``.
+
+    ``functions`` are ``(output name, function, input expr or None)``;
+    see :class:`repro.engine.window.Window` for supported functions.
+    """
+
+    child: LogicalPlan
+    partition_by: List[str]
+    order_by: List[str]
+    functions: List[Tuple[str, str, Optional[Expr]]]
+    ascending: Optional[List[bool]] = None
+
+    def __post_init__(self):
+        self.children = (self.child,)

@@ -1,0 +1,249 @@
+"""Distributed physical plan nodes.
+
+Each node carries a *distribution* the rewriter derived:
+
+* ``partitioned`` -- one stream per worker node, optionally hash-partitioned
+  on a key set (with the partition->node mapping, which the paper added to
+  the structural properties to stay correct when responsibilities move);
+* ``replicated`` -- the full relation available on every worker;
+* ``master`` -- a single stream at the session master.
+
+Exchange nodes are the only places data moves between distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.expressions import Expr
+from repro.engine.operators import AggSpec
+
+PARTITIONED = "partitioned"
+REPLICATED = "replicated"
+MASTER = "master"
+
+
+@dataclass
+class Distribution:
+    """Structural property of a physical node's output."""
+
+    kind: str  # partitioned | replicated | master
+    keys: Tuple[str, ...] = ()  # hash-partitioning keys, if any
+    co_location: Optional[str] = None  # table whose partition map we follow
+
+    @property
+    def is_partitioned(self) -> bool:
+        return self.kind == PARTITIONED
+
+
+class PhysNode:
+    """Base physical node."""
+
+    label = "Phys"
+
+    def __init__(self, children: Sequence["PhysNode"],
+                 distribution: Distribution):
+        self.children: List[PhysNode] = list(children)
+        self.distribution = distribution
+
+    def describe(self) -> str:
+        return self.label
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [f"{pad}{self.describe()}  <{self.distribution.kind}"
+                 + (f" on {','.join(self.distribution.keys)}"
+                    if self.distribution.keys else "") + ">"]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+class PScan(PhysNode):
+    label = "MScan"
+
+    def __init__(self, table: str, columns: List[str],
+                 skip_predicates, distribution: Distribution):
+        super().__init__((), distribution)
+        self.table = table
+        self.columns = columns
+        self.skip_predicates = list(skip_predicates)
+
+    def describe(self):
+        return f"MScan[{self.table}]"
+
+
+class PSelect(PhysNode):
+    label = "Select"
+
+    def __init__(self, child: PhysNode, predicate: Expr):
+        super().__init__([child], child.distribution)
+        self.predicate = predicate
+
+    def describe(self):
+        return f"Select[{self.predicate!r}]"
+
+
+class PProject(PhysNode):
+    label = "Project"
+
+    def __init__(self, child: PhysNode, outputs: Dict[str, Expr]):
+        super().__init__([child], child.distribution)
+        self.outputs = outputs
+
+    def describe(self):
+        return f"Project[{', '.join(self.outputs)}]"
+
+
+class PAggr(PhysNode):
+    label = "Aggr"
+
+    def __init__(self, child: PhysNode, group_by, aggregates: List[AggSpec],
+                 phase: str, distribution: Distribution):
+        super().__init__([child], distribution)
+        self.group_by = list(group_by)
+        self.aggregates = list(aggregates)
+        self.phase = phase  # direct | partial | final
+
+    def describe(self):
+        keys = ",".join(self.group_by) or "total"
+        return f"Aggr({self.phase})[{keys}]"
+
+
+class PHashJoin(PhysNode):
+    label = "HashJoin"
+
+    def __init__(self, build: PhysNode, probe: PhysNode,
+                 build_keys, probe_keys, how: str,
+                 build_payload, distribution: Distribution):
+        super().__init__([build, probe], distribution)
+        self.build_keys = list(build_keys)
+        self.probe_keys = list(probe_keys)
+        self.how = how
+        self.build_payload = build_payload
+
+    def describe(self):
+        return (f"HashJoin({self.how})"
+                f"[{','.join(self.probe_keys)}={','.join(self.build_keys)}]")
+
+
+class PMergeJoin(PhysNode):
+    label = "MergeJoin"
+
+    def __init__(self, left: PhysNode, right: PhysNode,
+                 left_key: str, right_key: str, distribution: Distribution):
+        super().__init__([left, right], distribution)
+        self.left_key = left_key
+        self.right_key = right_key
+
+    def describe(self):
+        return f"MergeJoin[{self.left_key}={self.right_key}]"
+
+
+class PSort(PhysNode):
+    label = "Sort"
+
+    def __init__(self, child: PhysNode, keys, ascending):
+        super().__init__([child], child.distribution)
+        self.keys = list(keys)
+        self.ascending = ascending
+
+    def describe(self):
+        return f"Sort[{','.join(self.keys)}]"
+
+
+class PTopN(PhysNode):
+    label = "TopN"
+
+    def __init__(self, child: PhysNode, keys, n: int, ascending,
+                 phase: str):
+        super().__init__([child], child.distribution)
+        self.keys = list(keys)
+        self.n = n
+        self.ascending = ascending
+        self.phase = phase  # partial | final
+
+    def describe(self):
+        return f"TopN({self.phase})[{','.join(self.keys)}; {self.n}]"
+
+
+class PUnionAll(PhysNode):
+    label = "UnionAll"
+
+    def __init__(self, children, distribution: Distribution):
+        super().__init__(children, distribution)
+
+
+class PWindow(PhysNode):
+    label = "Window"
+
+    def __init__(self, child: PhysNode, partition_by, order_by, functions,
+                 ascending, distribution: Distribution):
+        super().__init__([child], distribution)
+        self.partition_by = list(partition_by)
+        self.order_by = list(order_by)
+        self.functions = list(functions)
+        self.ascending = ascending
+
+    def describe(self):
+        names = ",".join(n for n, _, _ in self.functions)
+        return f"Window[{names}; partition by {','.join(self.partition_by) or '-'}]"
+
+
+class PLimit(PhysNode):
+    label = "Limit"
+
+    def __init__(self, child: PhysNode, n: int):
+        super().__init__([child], child.distribution)
+        self.n = n
+
+    def describe(self):
+        return f"Limit[{self.n}]"
+
+
+# ---------------------------------------------------------------------------
+# Exchanges: the only data movement points
+# ---------------------------------------------------------------------------
+
+class DXUnion(PhysNode):
+    """Gather all worker streams at the session master."""
+
+    label = "DXchgUnion"
+
+    def __init__(self, child: PhysNode):
+        super().__init__([child], Distribution(MASTER))
+
+
+class DXHashSplit(PhysNode):
+    """Repartition by hash of ``keys`` across all workers (all-to-all).
+
+    When ``align_with`` names a table, rows are routed with *that table's*
+    partition function and responsibility map instead of a plain
+    hash-modulo-workers -- this is the partition->node mapping the paper
+    added to the partitioning property so that a reshuffled side really
+    co-locates with a table-partitioned side.
+    """
+
+    label = "DXchgHashSplit"
+
+    def __init__(self, child: PhysNode, keys, align_with: str = None):
+        super().__init__(
+            [child],
+            Distribution(PARTITIONED, tuple(keys), co_location=align_with),
+        )
+        self.keys = list(keys)
+        self.align_with = align_with
+
+    def describe(self):
+        suffix = f" ~{self.align_with}" if self.align_with else ""
+        return f"DXchgHashSplit[{','.join(self.keys)}{suffix}]"
+
+
+class DXBroadcast(PhysNode):
+    """Replicate a (small) relation to every worker."""
+
+    label = "DXchgBroadcast"
+
+    def __init__(self, child: PhysNode):
+        super().__init__([child], Distribution(REPLICATED))

@@ -1,0 +1,5 @@
+"""Simulated MPI fabric for distributed exchange operators."""
+
+from repro.net.mpi import MpiFabric, dxchg_buffer_memory
+
+__all__ = ["MpiFabric", "dxchg_buffer_memory"]

@@ -1,0 +1,260 @@
+"""Positional merging: applying a pile of delta entries to a stable image.
+
+``apply_entries`` is the scan-side half of the PDT design: it merges the
+differences into a table scan *by position*, with no key comparisons. It is
+called for every query (via the table scan operator) with the union of the
+Read-, Write- and Trans-PDT entry lists, which share one anchor space (the
+stable on-disk image).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.pdt.entries import (
+    DeltaEntry,
+    EntryKind,
+    Identity,
+    decode_identity,
+    encode_identity,
+)
+
+
+@dataclass
+class MergeResult:
+    """The up-to-date image of one table partition.
+
+    ``identities`` is aligned with the merged rows: ``identities[rid]`` is
+    the encoded identity (stable SID >= 0, inserts < 0), which is how update
+    queries address tuples and how SID<->RID translation is answered.
+    """
+
+    columns: Dict[str, np.ndarray]
+    identities: np.ndarray  # int64, encoded identities per output row
+    n_rows: int
+    n_stable: int
+
+    def rid_to_identity(self, rid: int) -> Identity:
+        return decode_identity(int(self.identities[rid]))
+
+    def sid_to_rid(self, sid: int) -> Optional[int]:
+        """Current position of stable tuple ``sid`` (None when deleted)."""
+        pos = np.searchsorted(self._stable_sids(), sid)
+        sids = self._stable_sids()
+        if pos < len(sids) and sids[pos] == sid:
+            return int(self._stable_rids()[pos])
+        return None
+
+    def rid_to_sid(self, rid: int) -> Optional[int]:
+        """Stable position of the tuple at ``rid`` (None for fresh inserts)."""
+        code = int(self.identities[rid])
+        return code if code >= 0 else None
+
+    def _stable_sids(self) -> np.ndarray:
+        mask = self.identities >= 0
+        return self.identities[mask]
+
+    def _stable_rids(self) -> np.ndarray:
+        return np.flatnonzero(self.identities >= 0)
+
+
+@dataclass
+class MergePlan:
+    """Classified delta entries, ready to merge (cacheable per version)."""
+
+    deleted_sids: set
+    mods_stable: Dict[int, Dict[str, object]]
+    inserts: List[DeltaEntry]  # live, sorted by (anchor, seq)
+
+
+def classify_entries(entries: Sequence[DeltaEntry]) -> MergePlan:
+    """Replay entries in commit order into a ready-to-merge plan.
+
+    In the real system the PDT *is* this structure; deriving it from the
+    flat entry log per scan would be wasted work, so callers may cache the
+    result per (layer versions) -- see StoredTable.scan_partition.
+    """
+    deleted_sids: set = set()
+    live_inserts: Dict[int, DeltaEntry] = {}  # uid -> entry
+    mods_stable: Dict[int, Dict[str, object]] = {}
+    for entry in sorted(entries, key=lambda e: e.seq):
+        if entry.kind is EntryKind.INSERT:
+            live_inserts[entry.uid] = entry
+        elif entry.kind is EntryKind.DELETE:
+            tag, value = entry.target
+            if tag == "s":
+                deleted_sids.add(value)
+            else:
+                live_inserts.pop(value, None)
+        else:  # MODIFY
+            tag, value = entry.target
+            if tag == "s":
+                mods_stable.setdefault(value, {}).update(entry.values)
+            elif value in live_inserts:
+                ins = live_inserts[value]
+                merged = dict(ins.values)
+                merged.update(entry.values)
+                live_inserts[value] = DeltaEntry(
+                    kind=EntryKind.INSERT,
+                    anchor_sid=ins.anchor_sid,
+                    seq=ins.seq,
+                    uid=ins.uid,
+                    values=merged,
+                )
+    inserts = sorted(live_inserts.values(), key=lambda e: e.sort_key())
+    return MergePlan(deleted_sids, mods_stable, inserts)
+
+
+def apply_entries(
+    stable_columns: Mapping[str, np.ndarray],
+    n_stable: int,
+    entries: Sequence[DeltaEntry],
+    columns_wanted: Sequence[str] | None = None,
+    plan: Optional[MergePlan] = None,
+) -> MergeResult:
+    """Merge delta entries into the stable image, positionally.
+
+    Output order: for each stable anchor ``s`` ascending, first the inserts
+    anchored at ``s`` (in commit-sequence order), then stable tuple ``s``
+    itself unless deleted; modifies overlay the targeted tuple's values with
+    last-writer-wins per column. Pass ``plan`` to reuse a cached
+    classification of the same entries.
+    """
+    names = list(columns_wanted) if columns_wanted is not None else list(
+        stable_columns
+    )
+    if not entries:
+        cols = {c: np.asarray(stable_columns[c]) for c in names}
+        identities = np.arange(n_stable, dtype=np.int64)
+        return MergeResult(cols, identities, n_stable, n_stable)
+
+    if plan is None:
+        plan = classify_entries(entries)
+    deleted_sids = plan.deleted_sids
+    mods_stable = plan.mods_stable
+    inserts = plan.inserts
+
+    keep = np.ones(n_stable, dtype=bool)
+    if deleted_sids:
+        keep[np.fromiter(deleted_sids, dtype=np.int64)] = False
+    kept_sids = np.flatnonzero(keep).astype(np.int64)
+
+    n_ins = len(inserts)
+    n_kept = len(kept_sids)
+    total = n_kept + n_ins
+    tail_only = all(e.anchor_sid >= n_stable for e in inserts)
+
+    if tail_only:
+        # Fast path (the dominant case: trickle appends + deletes): kept
+        # stable rows in order, inserts appended -- no interleaving sort.
+        stable_positions = np.arange(n_kept)
+        gather_sids = kept_sids
+        ins_src = np.arange(n_ins)
+        insert_positions = n_kept + ins_src
+    else:
+        # Interleave kept stable tuples and inserts by (anchor, rank, seq).
+        anchor = np.concatenate([
+            kept_sids,
+            np.fromiter((e.anchor_sid for e in inserts), np.int64, n_ins),
+        ])
+        rank = np.concatenate([
+            np.ones(n_kept, np.int64), np.zeros(n_ins, np.int64),
+        ])
+        seq = np.concatenate([
+            np.zeros(n_kept, np.int64),
+            np.fromiter((e.seq for e in inserts), np.int64, n_ins),
+        ])
+        order = np.lexsort((seq, rank, anchor))
+        is_stable_src = order < n_kept
+        stable_positions = np.flatnonzero(is_stable_src)
+        insert_positions = np.flatnonzero(~is_stable_src)
+        gather_sids = kept_sids[order[is_stable_src]]
+        ins_src = order[~is_stable_src] - n_kept
+
+    out_identities = np.empty(total, dtype=np.int64)
+    out_identities[stable_positions] = gather_sids
+    if n_ins:
+        out_identities[insert_positions] = np.fromiter(
+            (encode_identity(("i", inserts[i].uid)) for i in ins_src),
+            np.int64, n_ins,
+        )
+
+    columns: Dict[str, np.ndarray] = {}
+    for name in names:
+        src = np.asarray(stable_columns[name])
+        out = np.empty(total, dtype=src.dtype)
+        out[stable_positions] = src[gather_sids]
+        for outpos, i in zip(insert_positions.tolist(), ins_src.tolist()):
+            out[outpos] = inserts[i].values[name]
+        for sid, colvals in mods_stable.items():
+            if name not in colvals or not keep[sid]:
+                continue
+            # gather_sids is sorted in both paths, so locate by bisection
+            pos = int(np.searchsorted(gather_sids, sid))
+            if pos < len(gather_sids) and gather_sids[pos] == sid:
+                out[stable_positions[pos]] = colvals[name]
+        columns[name] = out
+
+    return MergeResult(columns, out_identities, total, n_stable)
+
+
+class PdtLayer:
+    """One PDT layer: an ordered collection of delta entries.
+
+    Layers are value-like: commit creates a *new* Write-PDT layer
+    (copy-on-write) so snapshots held by running queries stay stable.
+    """
+
+    def __init__(self, entries: Sequence[DeltaEntry] = ()):
+        self.entries: List[DeltaEntry] = list(entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def add(self, entry: DeltaEntry) -> None:
+        self.entries.append(entry)
+
+    def extend(self, entries: Sequence[DeltaEntry]) -> None:
+        self.entries.extend(entries)
+
+    def copy(self) -> "PdtLayer":
+        return PdtLayer([e.clone() for e in self.entries])
+
+    def counts(self) -> Dict[str, int]:
+        out = {"insert": 0, "delete": 0, "modify": 0}
+        for e in self.entries:
+            out[e.kind.value] += 1
+        return out
+
+    def memory_estimate(self) -> int:
+        """Rough bytes held in RAM; drives update-propagation triggers."""
+        total = 0
+        for e in self.entries:
+            total += 48 + 24 * len(e.values)
+        return total
+
+    def split_tail_inserts(self, n_stable: int):
+        """Separate tail inserts from other updates (paper section 6).
+
+        Tail inserts (anchored at the end of the stable image, not
+        modifying any existing tuple) can be flushed by only *appending*
+        new blocks; everything else requires re-compressing existing
+        blocks and may be flushed at lower frequency.
+        """
+        touched_uids = set()
+        for e in self.entries:
+            if e.kind is not EntryKind.INSERT and e.target[0] == "i":
+                touched_uids.add(e.target[1])
+        tail: List[DeltaEntry] = []
+        rest: List[DeltaEntry] = []
+        for e in self.entries:
+            is_tail = (
+                e.kind is EntryKind.INSERT
+                and e.anchor_sid >= n_stable
+                and e.uid not in touched_uids
+            )
+            (tail if is_tail else rest).append(e)
+        return PdtLayer(tail), PdtLayer(rest)

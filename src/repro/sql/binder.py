@@ -1,0 +1,241 @@
+"""Binder: SQL AST -> logical plans / DML calls on a VectorHCluster."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import SqlError
+from repro.engine.batch import Batch
+from repro.engine.expressions import (
+    Between, Case, Col, Const, Expr, InList, Like, Not,
+)
+from repro.mpp.logical import (
+    LAggr, LJoin, LLimit, LProject, LScan, LSelect, LSort, LTopN,
+    LogicalPlan,
+)
+from repro.sql import parser as ast
+from repro.sql.parser import SqlParser
+
+_auto_names = itertools.count(1)
+
+
+def _bind_expr(node) -> Expr:
+    if isinstance(node, ast.ColumnRef):
+        return Col(node.name)
+    if isinstance(node, ast.Literal):
+        return Const(node.value)
+    if isinstance(node, ast.BinaryOp):
+        left, right = _bind_expr(node.left), _bind_expr(node.right)
+        table = {
+            "+": lambda: left + right, "-": lambda: left - right,
+            "*": lambda: left * right, "/": lambda: left / right,
+            "=": lambda: left == right, "<>": lambda: left != right,
+            "<": lambda: left < right, "<=": lambda: left <= right,
+            ">": lambda: left > right, ">=": lambda: left >= right,
+            "and": lambda: left & right, "or": lambda: left | right,
+        }
+        maker = table.get(node.op)
+        if maker is None:
+            raise SqlError(f"unsupported operator {node.op}")
+        return maker()
+    if isinstance(node, ast.UnaryNot):
+        return Not(_bind_expr(node.child))
+    if isinstance(node, ast.BetweenOp):
+        expr = Between(_bind_expr(node.child),
+                       _literal(node.low), _literal(node.high))
+        return Not(expr) if node.negate else expr
+    if isinstance(node, ast.InOp):
+        expr = InList(_bind_expr(node.child), node.values)
+        return Not(expr) if node.negate else expr
+    if isinstance(node, ast.LikeOp):
+        return Like(_bind_expr(node.child), node.pattern, node.negate)
+    if isinstance(node, ast.CaseOp):
+        return Case(_bind_expr(node.cond), _bind_expr(node.then),
+                    _bind_expr(node.otherwise))
+    if isinstance(node, ast.ExtractYearOp):
+        from repro.engine.expressions import ExtractYear
+        return ExtractYear(_bind_expr(node.child))
+    if isinstance(node, ast.SubstringOp):
+        from repro.engine.expressions import Substr
+        return Substr(_bind_expr(node.child), node.start, node.length)
+    raise SqlError(f"cannot bind expression node {node!r}")
+
+
+def _literal(node):
+    if isinstance(node, ast.Literal):
+        return node.value
+    raise SqlError("BETWEEN bounds must be literals")
+
+
+def _collect_columns(node, out: List[str]) -> None:
+    if isinstance(node, ast.ColumnRef):
+        out.append(node.name)
+    elif isinstance(node, ast.AggCall):
+        if node.arg is not None:
+            _collect_columns(node.arg, out)
+    elif isinstance(node, ast.BinaryOp):
+        _collect_columns(node.left, out)
+        _collect_columns(node.right, out)
+    elif isinstance(node, (ast.UnaryNot, ast.LikeOp, ast.InOp,
+                           ast.ExtractYearOp, ast.SubstringOp)):
+        _collect_columns(node.child, out)
+    elif isinstance(node, ast.BetweenOp):
+        _collect_columns(node.child, out)
+        _collect_columns(node.low, out)
+        _collect_columns(node.high, out)
+    elif isinstance(node, ast.CaseOp):
+        for child in (node.cond, node.then, node.otherwise):
+            _collect_columns(child, out)
+
+
+def _has_aggregates(items) -> bool:
+    return any(isinstance(item.expr, ast.AggCall) for item in items)
+
+
+class _SelectBinder:
+    def __init__(self, cluster, stmt: ast.SelectStatement):
+        self.cluster = cluster
+        self.stmt = stmt
+
+    def plan(self) -> LogicalPlan:
+        stmt = self.stmt
+        needed: List[str] = []
+        for item in stmt.items:
+            _collect_columns(item.expr, needed)
+        if stmt.where is not None:
+            _collect_columns(stmt.where, needed)
+        needed.extend(stmt.group_by)
+        for key, _ in stmt.order_by:
+            pass  # order keys are output names, resolved later
+        join_cols = []
+        for join in stmt.joins:
+            join_cols.extend([join.left_key, join.right_key])
+        needed.extend(join_cols)
+        needed = list(dict.fromkeys(needed))
+
+        plan = self._from_clause(needed)
+        if stmt.where is not None:
+            plan = LSelect(plan, _bind_expr(stmt.where))
+        plan = self._projection_and_aggregation(plan)
+        if stmt.having is not None:
+            plan = LSelect(plan, _bind_expr(stmt.having))
+        if stmt.order_by:
+            keys = [k for k, _ in stmt.order_by]
+            asc = [a for _, a in stmt.order_by]
+            if stmt.limit is not None:
+                return LTopN(plan, keys, stmt.limit, asc)
+            return LSort(plan, keys, asc)
+        if stmt.limit is not None:
+            return LLimit(plan, stmt.limit)
+        return plan
+
+    def _from_clause(self, needed: List[str]) -> LogicalPlan:
+        stmt = self.stmt
+        tables = [stmt.table] + [j.table for j in stmt.joins]
+        per_table: Dict[str, List[str]] = {}
+        for t in tables:
+            schema = self.cluster.tables[t].schema
+            cols = [c for c in needed if c in schema.column_names]
+            per_table[t] = cols or schema.column_names[:1]
+        plan: LogicalPlan = LScan(stmt.table, per_table[stmt.table])
+        for join in stmt.joins:
+            build = LScan(join.table, per_table[join.table])
+            # ON a = b: figure out which side each key belongs to
+            build_schema = self.cluster.tables[join.table].schema
+            if join.left_key in build_schema.column_names:
+                bk, pk = join.left_key, join.right_key
+            else:
+                bk, pk = join.right_key, join.left_key
+            plan = LJoin(build=build, probe=plan, build_keys=[bk],
+                         probe_keys=[pk], how=join.how)
+        return plan
+
+    def _projection_and_aggregation(self, plan: LogicalPlan) -> LogicalPlan:
+        stmt = self.stmt
+        if not (_has_aggregates(stmt.items) or stmt.group_by):
+            outputs = {}
+            for item in stmt.items:
+                name = item.alias or self._default_name(item.expr)
+                outputs[name] = _bind_expr(item.expr)
+            return LProject(plan, outputs)
+
+        aggregates = []
+        pre_outputs: Dict[str, Expr] = {
+            g: Col(g) for g in stmt.group_by
+        }
+        for item in stmt.items:
+            if isinstance(item.expr, ast.AggCall):
+                call = item.expr
+                name = item.alias or f"{call.func}_{next(_auto_names)}"
+                if call.arg is None:
+                    aggregates.append((name, "count", None))
+                else:
+                    arg_name = f"__agg_in_{next(_auto_names)}"
+                    pre_outputs[arg_name] = _bind_expr(call.arg)
+                    func = ("count_distinct"
+                            if call.distinct and call.func == "count"
+                            else call.func)
+                    aggregates.append((name, func, Col(arg_name)))
+            elif isinstance(item.expr, ast.ColumnRef):
+                if item.expr.name not in stmt.group_by:
+                    raise SqlError(
+                        f"column {item.expr.name} not in GROUP BY"
+                    )
+            elif item.alias in stmt.group_by:
+                # computed group key, e.g. GROUP BY extract(year ...) alias
+                pre_outputs[item.alias] = _bind_expr(item.expr)
+            else:
+                raise SqlError(
+                    "select items must be group keys or aggregates"
+                )
+        return LAggr(LProject(plan, pre_outputs), stmt.group_by, aggregates)
+
+    @staticmethod
+    def _default_name(expr) -> str:
+        if isinstance(expr, ast.ColumnRef):
+            return expr.name
+        return f"col_{next(_auto_names)}"
+
+
+def execute_sql(cluster, text: str, trans=None):
+    """Parse and run one SQL statement; returns a Batch (SELECT) or the
+    affected row count (DML)."""
+    stmt = SqlParser(text).parse()
+    if isinstance(stmt, ast.SelectStatement):
+        plan = _SelectBinder(cluster, stmt).plan()
+        return cluster.query(plan, trans=trans).batch
+    if isinstance(stmt, ast.InsertStatement):
+        schema = cluster.tables[stmt.table].schema
+        columns = list(stmt.columns) or schema.column_names
+        if any(len(row) != len(columns) for row in stmt.rows):
+            raise SqlError("VALUES row width does not match column list")
+        arrays = {}
+        for i, name in enumerate(columns):
+            ctype = schema.ctype(name)
+            values = [row[i] for row in stmt.rows]
+            if ctype.is_string:
+                arr = np.empty(len(values), dtype=object)
+                arr[:] = [str(v) for v in values]
+            elif ctype.name == "decimal":
+                arr = np.asarray(values, dtype=np.float64)
+            else:
+                arr = np.asarray(values, dtype=ctype.dtype)
+            arrays[name] = arr
+        cluster.insert(stmt.table, arrays, trans=trans, force_pdt=True)
+        return len(stmt.rows)
+    if isinstance(stmt, ast.DeleteStatement):
+        if stmt.where is None:
+            raise SqlError("DELETE without WHERE is not supported")
+        return cluster.delete_where(stmt.table, _bind_expr(stmt.where),
+                                    trans=trans)
+    if isinstance(stmt, ast.UpdateStatement):
+        if stmt.where is None:
+            raise SqlError("UPDATE without WHERE is not supported")
+        assignments = {col: _bind_expr(expr)
+                       for col, expr in stmt.assignments}
+        return cluster.update_where(stmt.table, _bind_expr(stmt.where),
+                                    assignments, trans=trans)
+    raise SqlError(f"unsupported statement type {type(stmt).__name__}")

@@ -1,0 +1,28 @@
+"""Columnar storage on simulated HDFS (paper section 3).
+
+The unit of table storage is a compressed **block** (default 512KB, written
+in groups for IO efficiency). Blocks live in horizontal **block-chunk**
+files -- the file-per-partition layout: all columns of a table partition go
+to the same HDFS file, split into fixed-size chunks so space can be
+reclaimed at chunk granularity despite HDFS being append-only. Partially
+filled trailing blocks go to a *partial chunk file* that the next append
+merges and frees. Every block records MinMax statistics enabling scan
+skipping.
+"""
+
+from repro.storage.schema import Column, ForeignKey, TableSchema
+from repro.storage.minmax import MinMaxIndex
+from repro.storage.buffer import BufferPool
+from repro.storage.colstore import BlockRef, PartitionStore
+from repro.storage.table import StoredTable
+
+__all__ = [
+    "Column",
+    "ForeignKey",
+    "TableSchema",
+    "MinMaxIndex",
+    "BufferPool",
+    "BlockRef",
+    "PartitionStore",
+    "StoredTable",
+]

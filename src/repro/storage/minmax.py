@@ -1,0 +1,165 @@
+"""MinMax indexes: small table summaries enabling scan skipping.
+
+Per partition, per column, we keep [min, max] per tuple range (one range
+per storage block of that column). Deletes are ignored; inserts and
+modifies *widen* the range covering their anchor without rescanning old
+values -- so skipping stays conservative and therefore correct even with a
+populated PDT (paper section 6, "MinMax Indexes"). VectorH stores MinMax
+data in the WAL, separate from the blocks, so consulting it never forces a
+data read (unlike Parquet; paper section 2) -- here it is an in-memory
+structure serializable into WAL records.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+_OPS: Dict[str, Callable] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "=": operator.eq,
+}
+
+
+@dataclass
+class _Range:
+    row_start: int
+    row_count: int
+    min_value: object
+    max_value: object
+
+    @property
+    def row_end(self) -> int:
+        return self.row_start + self.row_count
+
+
+@dataclass
+class MinMaxIndex:
+    """MinMax ranges for every column of one table partition."""
+
+    ranges: Dict[str, List[_Range]] = field(default_factory=dict)
+
+    def add_range(self, column: str, row_start: int, values: np.ndarray) -> None:
+        """Record a freshly written block's min/max."""
+        if len(values) == 0:
+            return
+        if values.dtype == object:
+            lo, hi = min(values), max(values)
+        else:
+            lo, hi = values.min(), values.max()
+        self.ranges.setdefault(column, []).append(
+            _Range(row_start, len(values), lo, hi)
+        )
+
+    def clear(self) -> None:
+        self.ranges.clear()
+
+    # -- maintenance under updates -------------------------------------------------
+
+    def widen(self, column: str, anchor_sid: int, value) -> None:
+        """Widen the range covering ``anchor_sid`` for an insert/modify.
+
+        Cheap by design: extremes only grow, no old values are scanned.
+        """
+        ranges = self.ranges.get(column)
+        if not ranges:
+            return
+        target = ranges[-1]
+        for r in ranges:
+            if r.row_start <= anchor_sid < r.row_end:
+                target = r
+                break
+        if value < target.min_value:
+            target.min_value = value
+        if value > target.max_value:
+            target.max_value = value
+
+    # -- skipping -------------------------------------------------------------------
+
+    def range_may_qualify(self, column: str, op: str, literal,
+                          row_start: int, row_end: int) -> bool:
+        """Can any tuple in [row_start, row_end) satisfy ``col op literal``?"""
+        ranges = self.ranges.get(column)
+        if ranges is None:
+            return True  # no stats, cannot skip
+        for r in ranges:
+            if r.row_end <= row_start or r.row_start >= row_end:
+                continue
+            if _interval_may_qualify(r.min_value, r.max_value, op, literal):
+                return True
+        return False
+
+    def qualifying_ranges(
+        self,
+        predicates: Sequence[Tuple[str, str, object]],
+        n_rows: int,
+    ) -> List[Tuple[int, int]]:
+        """Row ranges that may contain qualifying tuples.
+
+        ``predicates`` are conjunctive ``(column, op, literal)`` triples.
+        Granularity is the union of block boundaries of all predicate
+        columns. Returns merged, sorted [start, end) ranges.
+        """
+        if not predicates or n_rows == 0:
+            return [(0, n_rows)] if n_rows else []
+        boundaries = {0, n_rows}
+        for column, _, _ in predicates:
+            for r in self.ranges.get(column, ()):
+                boundaries.add(min(r.row_start, n_rows))
+                boundaries.add(min(r.row_end, n_rows))
+        edges = sorted(boundaries)
+        kept: List[Tuple[int, int]] = []
+        for start, end in zip(edges, edges[1:]):
+            if start >= end:
+                continue
+            qualifies = all(
+                self.range_may_qualify(col, op, lit, start, end)
+                for col, op, lit in predicates
+            )
+            if qualifies:
+                if kept and kept[-1][1] == start:
+                    kept[-1] = (kept[-1][0], end)
+                else:
+                    kept.append((start, end))
+        return kept
+
+    # -- (de)serialization: MinMax lives in the WAL, not in data blocks -----------
+
+    def to_record(self) -> dict:
+        return {
+            col: [(r.row_start, r.row_count, r.min_value, r.max_value)
+                  for r in ranges]
+            for col, ranges in self.ranges.items()
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "MinMaxIndex":
+        idx = cls()
+        for col, ranges in record.items():
+            idx.ranges[col] = [
+                _Range(s, c, lo, hi) for (s, c, lo, hi) in ranges
+            ]
+        return idx
+
+
+def _interval_may_qualify(lo, hi, op: str, literal) -> bool:
+    if op == "<":
+        return lo < literal
+    if op == "<=":
+        return lo <= literal
+    if op == ">":
+        return hi > literal
+    if op == ">=":
+        return hi >= literal
+    if op == "=":
+        return lo <= literal <= hi
+    if op == "between":
+        low, high = literal
+        return not (hi < low or lo > high)
+    return True  # unknown operator: never skip

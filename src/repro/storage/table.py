@@ -1,0 +1,503 @@
+"""StoredTable: partitioned, optionally clustered tables with PDT updates.
+
+Combines the pieces below it:
+
+* one :class:`PartitionStore` per hash partition (file-per-partition chunk
+  layout on HDFS);
+* one :class:`PdtStack` per partition holding in-memory differential
+  updates; every scan merges them in positionally;
+* MinMax skipping, kept conservative under updates by widening;
+* update propagation, with the tail-insert fast path (append-only flush).
+
+Clustered ("clustered index") tables are stored sorted on the cluster key;
+all their updates go through PDTs -- inserts are anchored by binary search
+on the stable cluster key. Unordered tables append bulk inserts directly
+and may buffer small inserts as PDT tail inserts (paper section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.config import Config
+from repro.common.errors import StorageError
+from repro.common.types import ColumnType
+from repro.hdfs.cluster import HdfsCluster
+from repro.pdt.entries import stable as stable_identity
+from repro.pdt.layer import MergeResult, apply_entries, classify_entries
+from repro.pdt.stack import PdtStack, TransPdt
+from repro.storage.buffer import BufferPool
+from repro.storage.colstore import PartitionStore
+from repro.storage.schema import TableSchema
+
+
+@dataclass
+class ScanResult:
+    """Output of a partition scan: merged columns + true tuple identities."""
+
+    columns: Dict[str, np.ndarray]
+    identities: np.ndarray  # encoded: stable sid >= 0, insert uid < 0
+    n_rows: int
+
+
+@dataclass
+class PropagationStats:
+    tail_flushes: int = 0
+    full_rewrites: int = 0
+    entries_flushed: int = 0
+
+
+class StoredTable:
+    """One table: storage partitions + PDT stacks + scan/update API."""
+
+    def __init__(self, hdfs: HdfsCluster, db_path: str, schema: TableSchema,
+                 config: Config):
+        self.hdfs = hdfs
+        self.schema = schema
+        self.config = config
+        self.partitions: List[PartitionStore] = []
+        self.pdt: List[PdtStack] = []
+        for pid in range(self.n_partitions):
+            tag = self.partition_tag(pid)
+            base = f"{db_path.rstrip('/')}/{tag}"
+            self.partitions.append(
+                PartitionStore(hdfs, base, schema, config, tag)
+            )
+            self.pdt.append(
+                PdtStack(flush_threshold=config.write_pdt_flush_threshold)
+            )
+        self._cluster_key_cache: Dict[int, np.ndarray] = {}
+        self._merge_plan_cache: Dict[int, tuple] = {}
+        self.propagation_stats = PropagationStats()
+
+    def _merge_plan(self, pid: int):
+        """Cached classification of the committed PDT entries, keyed by
+        the stack's layer identities (copy-on-write makes these stable)."""
+        stack = self.pdt[pid]
+        key = (id(stack.read), len(stack.read),
+               id(stack.write), len(stack.write))
+        cached = self._merge_plan_cache.get(pid)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        plan = classify_entries(stack.scan_entries())
+        self._merge_plan_cache[pid] = (key, plan)
+        return plan
+
+    # ---------------------------------------------------------------- identity
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def n_partitions(self) -> int:
+        return self.schema.n_partitions if self.schema.is_partitioned else 1
+
+    @property
+    def is_replicated(self) -> bool:
+        """Non-partitioned tables are replicated on all workers (section 6)."""
+        return not self.schema.is_partitioned
+
+    def partition_tag(self, pid: int) -> str:
+        return f"{self.schema.name}/part-{pid:04d}"
+
+    # ------------------------------------------------------- decimal handling
+    #
+    # DECIMAL columns are stored as fixed-point int64 (so the lightweight
+    # integer compression schemes apply, as in Vectorwise) but surface as
+    # float64 vectors at the scan boundary; writes convert back. Skip
+    # predicates and MinMax work on the storage representation.
+
+    def _decimal_scale(self, name: str) -> Optional[int]:
+        ctype = self.schema.ctype(name)
+        if ctype.name == "decimal":
+            return 10 ** ctype.scale
+        return None
+
+    def to_storage_columns(self, columns: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        out = {}
+        for name, arr in columns.items():
+            arr = np.asarray(arr)
+            scale = self._decimal_scale(name)
+            if scale is not None and arr.dtype.kind == "f":
+                arr = np.round(arr * scale).astype(np.int64)
+            out[name] = arr
+        return out
+
+    def _from_storage(self, name: str, arr: np.ndarray) -> np.ndarray:
+        scale = self._decimal_scale(name)
+        if scale is not None:
+            return arr.astype(np.float64) / scale
+        return arr
+
+    def _storage_predicates(self, predicates):
+        fixed = []
+        for col, op, literal in predicates:
+            scale = self._decimal_scale(col)
+            if scale is not None and isinstance(literal, float):
+                literal = int(round(literal * scale))
+            fixed.append((col, op, literal))
+        return fixed
+
+    # ------------------------------------------------------------------- loads
+
+    def bulk_load(self, columns: Dict[str, np.ndarray],
+                  writers: Optional[Dict[int, str]] = None) -> None:
+        """Initial bulk load: hash-partition rows, sort clustered partitions.
+
+        Clustered tables only accept bulk loads into empty partitions;
+        later inserts must go through PDTs (:meth:`insert_rows`).
+        """
+        converted = self.to_storage_columns(columns)
+        arrays = {
+            name: np.asarray(converted[name],
+                             dtype=self.schema.ctype(name).dtype)
+            for name in self.schema.column_names
+        }
+        n = len(next(iter(arrays.values())))
+        if self.schema.is_partitioned:
+            keys = [arrays[k] for k in self.schema.partition_key]
+            pids = self.schema.partition_ids(keys)
+        else:
+            pids = np.zeros(n, dtype=np.int64)
+        for pid in range(self.n_partitions):
+            mask = pids == pid
+            if not mask.any():
+                continue
+            part_cols = {name: arr[mask] for name, arr in arrays.items()}
+            if self.schema.is_clustered:
+                if self.partitions[pid].n_stable:
+                    raise StorageError(
+                        "bulk load into non-empty clustered partition; "
+                        "use insert_rows (PDT) instead"
+                    )
+                order = np.lexsort(tuple(
+                    part_cols[c] for c in reversed(self.schema.clustered_on)
+                ))
+                part_cols = {k: v[order] for k, v in part_cols.items()}
+            writer = writers.get(pid) if writers else None
+            self.partitions[pid].append(part_cols, writer)
+            self._cluster_key_cache.pop(pid, None)
+
+    def append_partition(self, pid: int, columns: Dict[str, np.ndarray],
+                         writer: Optional[str] = None) -> None:
+        """Direct append (unordered tables; large inserts bypass PDTs)."""
+        if self.schema.is_clustered:
+            raise StorageError("clustered tables update through PDTs")
+        self.partitions[pid].append(self.to_storage_columns(columns), writer)
+
+    # -------------------------------------------------------------------- scans
+
+    def scan_partition(
+        self,
+        pid: int,
+        columns: Sequence[str],
+        predicates: Sequence[Tuple[str, str, object]] = (),
+        trans: Optional[TransPdt] = None,
+        reader: Optional[str] = None,
+        pool: Optional[BufferPool] = None,
+    ) -> ScanResult:
+        """Scan one partition: MinMax skipping + positional PDT merge.
+
+        ``predicates`` (conjunctive ``(col, op, literal)``) are only used
+        for *block skipping* here; exact filtering happens in the engine's
+        Select operator. Identities refer to the true stable SIDs so update
+        operators can target tuples.
+        """
+        store = self.partitions[pid]
+        entries = self.pdt[pid].scan_entries(trans)
+        ranges = store.minmax.qualifying_ranges(
+            self._storage_predicates(predicates), store.n_stable
+        )
+
+        needed = list(dict.fromkeys(columns))
+        requested = list(needed)
+        n_stable = store.n_stable
+        may_disorder = self.schema.is_clustered and any(
+            e.kind.value == "insert" and e.anchor_sid < n_stable
+            for e in entries
+        )
+        if may_disorder:
+            # The cluster key is needed to restore sort order after merging
+            # non-tail PDT inserts, even when the query did not ask for it.
+            for key_col in self.schema.clustered_on:
+                if key_col not in needed:
+                    needed.append(key_col)
+        stable_cols = store.read_columns(needed, ranges, reader, pool)
+
+        if not entries:
+            identities = _identities_for_ranges(ranges)
+            n = len(identities)
+            cols = {c: self._from_storage(c, stable_cols[c]) for c in requested}
+            return ScanResult(cols, identities, n)
+
+        sub_n, remapped, offsets = _remap_entries(
+            entries, ranges, store.n_stable
+        )
+        plan = None
+        if remapped is entries and trans is None:
+            # full-range, transaction-free scan: reuse the classified plan
+            # until the next commit bumps the stack version
+            plan = self._merge_plan(pid)
+        merged = apply_entries(stable_cols, sub_n, remapped, needed,
+                               plan=plan)
+        identities = _restore_identities(merged.identities, ranges, offsets)
+        result = ScanResult(merged.columns, identities, merged.n_rows)
+        if may_disorder:
+            result = _resort_clustered(result, self.schema.clustered_on)
+        result.columns = {
+            c: self._from_storage(c, result.columns[c]) for c in requested
+        }
+        return result
+
+    def scan_merged(self, pid: int, columns: Sequence[str],
+                    trans: Optional[TransPdt] = None,
+                    reader: Optional[str] = None,
+                    pool: Optional[BufferPool] = None) -> ScanResult:
+        """Full-partition scan (no skipping)."""
+        return self.scan_partition(pid, columns, (), trans, reader, pool)
+
+    # ------------------------------------------------------------------ updates
+
+    def insert_rows(self, pid: int, rows: Dict[str, np.ndarray],
+                    trans: TransPdt) -> List[int]:
+        """Trickle-insert rows through the Trans-PDT; returns their uids."""
+        converted = self.to_storage_columns(rows)
+        arrays = {
+            name: np.asarray(converted[name],
+                             dtype=self.schema.ctype(name).dtype)
+            for name in self.schema.column_names
+        }
+        n = len(next(iter(arrays.values())))
+        store = self.partitions[pid]
+        if self.schema.is_clustered:
+            anchors = self._cluster_anchors(pid, arrays)
+        else:
+            anchors = np.full(n, store.n_stable, dtype=np.int64)
+        uids = []
+        for i in range(n):
+            values = {name: arrays[name][i] for name in arrays}
+            uids.append(trans.insert(int(anchors[i]), values))
+            for name, value in values.items():
+                store.minmax.widen(name, int(anchors[i]), value)
+        return uids
+
+    def delete_rows(self, pid: int, identities: np.ndarray,
+                    trans: TransPdt) -> int:
+        from repro.pdt.entries import decode_identity
+        for code in identities.tolist():
+            target = decode_identity(code)
+            anchor = target[1] if target[0] == "s" else 0
+            trans.delete(target, anchor_sid=anchor)
+        return len(identities)
+
+    def modify_rows(self, pid: int, identities: np.ndarray,
+                    new_values: Dict[str, np.ndarray],
+                    trans: TransPdt) -> int:
+        from repro.pdt.entries import decode_identity
+        store = self.partitions[pid]
+        new_values = self.to_storage_columns(new_values)
+        for i, code in enumerate(identities.tolist()):
+            target = decode_identity(code)
+            anchor = target[1] if target[0] == "s" else 0
+            values = {name: arr[i] for name, arr in new_values.items()}
+            trans.modify(target, values, anchor_sid=anchor)
+            for name, value in values.items():
+                store.minmax.widen(name, anchor, value)
+        return len(identities)
+
+    def _cluster_anchors(self, pid: int, arrays) -> np.ndarray:
+        key_col = self.schema.clustered_on[0]
+        stable_keys = self._cluster_key_cache.get(pid)
+        if stable_keys is None:
+            stable_keys = self.partitions[pid].read_column(key_col)
+            self._cluster_key_cache[pid] = stable_keys
+        return np.searchsorted(stable_keys, arrays[key_col], side="left")
+
+    # --------------------------------------------------------- update propagation
+
+    def needs_propagation(self, pid: int) -> bool:
+        stack = self.pdt[pid]
+        if stack.total_entries() >= self.config.pdt_propagate_threshold:
+            return True
+        n_stable = max(1, self.partitions[pid].n_stable)
+        return (stack.total_entries() / n_stable
+                >= self.config.pdt_propagate_fraction)
+
+    def propagate(self, pid: int, writer: Optional[str] = None) -> str:
+        """Flush this partition's PDTs into the column store.
+
+        Tail inserts only create new blocks (cheap append flush); any other
+        update kind forces a full rewrite of the partition (paper section 6,
+        "Update Propagation"). Returns "tail", "full" or "none".
+        """
+        stack = self.pdt[pid]
+        store = self.partitions[pid]
+        entries = stack.scan_entries()
+        if not entries:
+            return "none"
+        names = self.schema.column_names
+        tail, rest = _split_tail(entries, store.n_stable)
+        if not rest:
+            values = {
+                name: np.asarray(
+                    [e.values[name] for e in tail],
+                    dtype=self.schema.ctype(name).dtype,
+                )
+                for name in names
+            }
+            store.append(values, writer)
+            self.propagation_stats.tail_flushes += 1
+        else:
+            stable_cols = store.read_columns(names, reader=writer)
+            merged = apply_entries(stable_cols, store.n_stable, entries, names)
+            new_cols = merged.columns
+            if self.schema.is_clustered:
+                order = np.lexsort(tuple(
+                    new_cols[c] for c in reversed(self.schema.clustered_on)
+                ))
+                new_cols = {k: v[order] for k, v in new_cols.items()}
+            store.rewrite(new_cols, writer)
+            self.propagation_stats.full_rewrites += 1
+        self.propagation_stats.entries_flushed += len(entries)
+        stack.clear_after_propagation()
+        self._cluster_key_cache.pop(pid, None)
+        return "full" if rest else "tail"
+
+    # ---------------------------------------------------------------- statistics
+
+    def total_rows(self, include_pdt: bool = True) -> int:
+        total = 0
+        for pid in range(self.n_partitions):
+            if include_pdt and self.pdt[pid].total_entries():
+                total += self.scan_merged(
+                    pid, self.schema.column_names[:1]
+                ).n_rows
+            else:
+                total += self.partitions[pid].n_stable
+        return total
+
+    def total_bytes(self) -> int:
+        return sum(p.total_bytes() for p in self.partitions)
+
+
+# ------------------------------------------------------------------ helpers
+
+def _identities_for_ranges(ranges) -> np.ndarray:
+    if not ranges:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate([
+        np.arange(start, end, dtype=np.int64) for start, end in ranges
+    ])
+
+
+def _remap_entries(entries, ranges, n_stable):
+    """Map entries into the sub-image made of the selected stable ranges.
+
+    Entries anchored/targeted inside skipped ranges are dropped -- correct
+    because MinMax widening guarantees a range containing a qualifying
+    insert or modify is never skipped, and a delete in a skipped range
+    removes a tuple that would not qualify anyway.
+    """
+    starts = [r[0] for r in ranges]
+    ends = [r[1] for r in ranges]
+    offsets = np.cumsum([0] + [e - s for s, e in ranges])
+    sub_n = int(offsets[-1])
+
+    def map_sid(sid: int) -> Optional[int]:
+        if sid >= n_stable:  # tail anchor
+            return sub_n
+        for i, (s, e) in enumerate(ranges):
+            if s <= sid < e:
+                return int(offsets[i] + (sid - s))
+        if ranges and sid == ends[-1]:
+            return sub_n
+        return None
+
+    if len(ranges) == 1 and ranges[0] == (0, n_stable):
+        return n_stable, entries, offsets
+
+    # Entries are read-only during merging, so remapped clones share the
+    # values dict instead of copying it (scans are hot; keep this lean).
+    from repro.pdt.entries import DeltaEntry
+
+    remapped = []
+    for e in entries:
+        if e.kind.value == "insert":
+            new_anchor = map_sid(e.anchor_sid)
+            if new_anchor is None:
+                continue
+            remapped.append(DeltaEntry(
+                kind=e.kind, anchor_sid=new_anchor, seq=e.seq, uid=e.uid,
+                values=e.values,
+            ))
+        else:
+            tag, value = e.target
+            if tag == "s":
+                new_sid = map_sid(value)
+                if new_sid is None or new_sid >= sub_n:
+                    continue
+                remapped.append(DeltaEntry(
+                    kind=e.kind, anchor_sid=new_sid, seq=e.seq,
+                    target=("s", new_sid), values=e.values,
+                ))
+            else:
+                remapped.append(DeltaEntry(
+                    kind=e.kind, anchor_sid=0, seq=e.seq, target=e.target,
+                    values=e.values,
+                ))
+    return sub_n, remapped, offsets
+
+
+def _restore_identities(sub_identities: np.ndarray, ranges,
+                        offsets: np.ndarray) -> np.ndarray:
+    """Translate sub-image stable sids back to true partition sids."""
+    out = sub_identities.copy()
+    mask = out >= 0
+    subs = out[mask]
+    true_sids = np.empty_like(subs)
+    for i, (s, e) in enumerate(ranges):
+        lo, hi = offsets[i], offsets[i + 1]
+        in_range = (subs >= lo) & (subs < hi)
+        true_sids[in_range] = subs[in_range] - lo + s
+    out[mask] = true_sids
+    return out
+
+
+def _resort_clustered(result: ScanResult, cluster_key) -> ScanResult:
+    """Restore full sort order when PDT inserts landed locally unordered.
+
+    Positional anchoring keeps the merge ordered in the common case
+    (inserts anchored by binary search on the cluster key), so first do a
+    cheap vectorized sortedness check and only pay for a sort when
+    same-anchor inserts actually broke the order.
+    """
+    keys = list(cluster_key)
+    first = result.columns[keys[0]]
+    if len(first) < 2 or (first[1:] >= first[:-1]).all():
+        return result
+    order = np.lexsort(tuple(result.columns[c] for c in reversed(keys)))
+    return ScanResult(
+        {k: v[order] for k, v in result.columns.items()},
+        result.identities[order],
+        result.n_rows,
+    )
+
+
+def _split_tail(entries, n_stable):
+    touched_uids = set()
+    for e in entries:
+        if e.kind.value != "insert" and e.target and e.target[0] == "i":
+            touched_uids.add(e.target[1])
+    tail, rest = [], []
+    for e in entries:
+        if (e.kind.value == "insert" and e.anchor_sid >= n_stable
+                and e.uid not in touched_uids):
+            tail.append(e)
+        else:
+            rest.append(e)
+    tail.sort(key=lambda e: e.seq)
+    return tail, rest

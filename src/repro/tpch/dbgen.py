@@ -1,0 +1,263 @@
+"""Deterministic in-Python TPC-H data generator.
+
+A faithful stand-in for dbgen at laptop scale: same schema, same value
+domains, the distributions and correlations the 22 queries rely on
+(date arithmetic between order/ship/commit/receipt dates, returnflag
+derived from the receipt date, PROMO/forest/green name fragments,
+customer phone country codes, "special requests" order comments,
+"Customer ... Complaints" supplier comments, the official partsupp
+supplier formula, and 1/3 of customers without orders). Deterministic per
+(scale factor, seed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.common.types import date_to_days
+
+# official 25 nations with their regions (region keys 0..4)
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+SHIP_INSTRUCT = ["DELIVER IN PERSON", "COLLECT COD", "NONE",
+                 "TAKE BACK RETURN"]
+CONTAINERS = [f"{a} {b}" for a in ("SM", "MED", "LG", "JUMBO", "WRAP")
+              for b in ("CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN",
+                        "DRUM")]
+TYPE_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+COLORS = ["almond", "antique", "aquamarine", "azure", "beige", "bisque",
+          "black", "blanched", "blue", "blush", "brown", "burlywood",
+          "chartreuse", "chiffon", "chocolate", "coral", "cornflower",
+          "cream", "cyan", "dark", "deep", "dim", "dodger", "drab",
+          "firebrick", "floral", "forest", "frosted", "gainsboro",
+          "ghost", "goldenrod", "green", "grey", "honeydew", "hot",
+          "indian", "ivory", "khaki", "lace", "lavender"]
+
+START_DATE = date_to_days("1992-01-01")
+END_DATE = date_to_days("1998-08-02")
+CURRENT_DATE = date_to_days("1995-06-17")
+
+_COMMENT_WORDS = ["carefully", "regular", "final", "quick", "bold",
+                  "pending", "express", "ironic", "even", "silent",
+                  "furious", "sly", "daring", "blithe", "quiet",
+                  "deposits", "requests", "packages", "theodolites",
+                  "instructions", "accounts", "foxes", "pinto", "beans",
+                  "dependencies", "platelets", "ideas", "excuses"]
+
+
+def _comments(rng: np.random.Generator, n: int, n_words: int = 4,
+              special: Tuple[str, float] = None) -> np.ndarray:
+    """Random word-salad comments; optionally inject a phrase in a fraction
+    of rows (e.g. 'special ... requests' for orders, Q13)."""
+    words = rng.choice(_COMMENT_WORDS, size=(n, n_words))
+    out = np.empty(n, dtype=object)
+    for i in range(n):
+        out[i] = " ".join(words[i])
+    if special is not None:
+        phrase, fraction = special
+        hits = rng.random(n) < fraction
+        for i in np.flatnonzero(hits):
+            out[i] = f"{out[i].split(' ')[0]} {phrase} {out[i]}"
+    return out
+
+
+def _phones(rng: np.random.Generator, nationkeys: np.ndarray) -> np.ndarray:
+    codes = nationkeys + 10
+    a = rng.integers(100, 1000, len(nationkeys))
+    b = rng.integers(100, 1000, len(nationkeys))
+    c = rng.integers(1000, 10000, len(nationkeys))
+    out = np.empty(len(nationkeys), dtype=object)
+    for i in range(len(nationkeys)):
+        out[i] = f"{codes[i]}-{a[i]}-{b[i]}-{c[i]}"
+    return out
+
+
+def generate_tpch(scale_factor: float = 0.01,
+                  seed: int = 19920101) -> Dict[str, Dict[str, np.ndarray]]:
+    """Generate all eight tables column-wise. SF 1.0 ~ the official sizes."""
+    rng = np.random.default_rng(seed)
+    n_supp = max(10, int(10_000 * scale_factor))
+    n_cust = max(30, int(150_000 * scale_factor))
+    n_part = max(20, int(200_000 * scale_factor))
+    n_orders = max(50, int(1_500_000 * scale_factor))
+
+    data: Dict[str, Dict[str, np.ndarray]] = {}
+
+    data["region"] = {
+        "r_regionkey": np.arange(5, dtype=np.int64),
+        "r_name": np.array(REGIONS, dtype=object),
+        "r_comment": _comments(rng, 5),
+    }
+
+    nation_names = np.array([n for n, _ in NATIONS], dtype=object)
+    data["nation"] = {
+        "n_nationkey": np.arange(25, dtype=np.int64),
+        "n_name": nation_names,
+        "n_regionkey": np.array([r for _, r in NATIONS], dtype=np.int64),
+        "n_comment": _comments(rng, 25),
+    }
+
+    s_nation = rng.integers(0, 25, n_supp)
+    data["supplier"] = {
+        "s_suppkey": np.arange(1, n_supp + 1, dtype=np.int64),
+        "s_name": np.array([f"Supplier#{i:09d}" for i in range(1, n_supp + 1)],
+                           dtype=object),
+        "s_address": _comments(rng, n_supp, 2),
+        "s_nationkey": s_nation,
+        "s_phone": _phones(rng, s_nation),
+        "s_acctbal": np.round(rng.uniform(-999.99, 9999.99, n_supp), 2),
+        "s_comment": _comments(rng, n_supp, 5,
+                               special=("Customer Complaints", 0.005)),
+    }
+
+    c_nation = rng.integers(0, 25, n_cust)
+    data["customer"] = {
+        "c_custkey": np.arange(1, n_cust + 1, dtype=np.int64),
+        "c_name": np.array([f"Customer#{i:09d}" for i in range(1, n_cust + 1)],
+                           dtype=object),
+        "c_address": _comments(rng, n_cust, 2),
+        "c_nationkey": c_nation,
+        "c_phone": _phones(rng, c_nation),
+        "c_acctbal": np.round(rng.uniform(-999.99, 9999.99, n_cust), 2),
+        "c_mktsegment": rng.choice(SEGMENTS, n_cust).astype(object),
+        "c_comment": _comments(rng, n_cust, 5),
+    }
+
+    pk = np.arange(1, n_part + 1, dtype=np.int64)
+    name_words = rng.choice(COLORS, size=(n_part, 3))
+    p_name = np.empty(n_part, dtype=object)
+    for i in range(n_part):
+        p_name[i] = " ".join(name_words[i])
+    mfgr = rng.integers(1, 6, n_part)
+    brand = mfgr * 10 + rng.integers(1, 6, n_part)
+    type_idx = (rng.integers(0, 6, n_part), rng.integers(0, 5, n_part),
+                rng.integers(0, 5, n_part))
+    p_type = np.empty(n_part, dtype=object)
+    for i in range(n_part):
+        p_type[i] = (f"{TYPE_1[type_idx[0][i]]} {TYPE_2[type_idx[1][i]]} "
+                     f"{TYPE_3[type_idx[2][i]]}")
+    data["part"] = {
+        "p_partkey": pk,
+        "p_name": p_name,
+        "p_mfgr": np.array([f"Manufacturer#{m}" for m in mfgr], dtype=object),
+        "p_brand": np.array([f"Brand#{b}" for b in brand], dtype=object),
+        "p_type": p_type,
+        "p_size": rng.integers(1, 51, n_part).astype(np.int64),
+        "p_container": rng.choice(CONTAINERS, n_part).astype(object),
+        "p_retailprice": np.round(
+            (90000 + (pk % 20001) / 10 + 100 * (pk % 1000)) / 100, 2
+        ),
+        "p_comment": _comments(rng, n_part, 3),
+    }
+
+    # partsupp: official 4-suppliers-per-part formula
+    ps_part = np.repeat(pk, 4)
+    i_idx = np.tile(np.arange(4), n_part)
+    ps_supp = ((ps_part + i_idx * (n_supp // 4 + (ps_part - 1) // n_supp))
+               % n_supp) + 1
+    n_ps = len(ps_part)
+    data["partsupp"] = {
+        "ps_partkey": ps_part,
+        "ps_suppkey": ps_supp.astype(np.int64),
+        "ps_availqty": rng.integers(1, 10_000, n_ps).astype(np.int64),
+        "ps_supplycost": np.round(rng.uniform(1.0, 1000.0, n_ps), 2),
+        "ps_comment": _comments(rng, n_ps, 5),
+    }
+
+    # orders: only 2/3 of customers ever order (spec: custkey % 3 != 0)
+    ok = np.arange(1, n_orders + 1, dtype=np.int64)
+    eligible = np.flatnonzero(np.arange(1, n_cust + 1) % 3 != 0) + 1
+    o_cust = rng.choice(eligible, n_orders)
+    o_date = rng.integers(START_DATE, END_DATE - 151, n_orders).astype(np.int32)
+    data["orders"] = {
+        "o_orderkey": ok,
+        "o_custkey": o_cust.astype(np.int64),
+        "o_orderstatus": np.full(n_orders, "O", dtype=object),  # fixed below
+        "o_totalprice": np.zeros(n_orders),  # filled from lineitems
+        "o_orderdate": o_date,
+        "o_orderpriority": rng.choice(PRIORITIES, n_orders).astype(object),
+        "o_clerk": np.array(
+            [f"Clerk#{v:09d}" for v in rng.integers(1, max(2, n_orders // 100),
+                                                    n_orders)], dtype=object),
+        "o_shippriority": np.zeros(n_orders, dtype=np.int64),
+        "o_comment": _comments(rng, n_orders, 5,
+                               special=("special packages requests", 0.01)),
+    }
+
+    # lineitem: 1..7 lines per order
+    lines_per_order = rng.integers(1, 8, n_orders)
+    n_line = int(lines_per_order.sum())
+    l_order = np.repeat(ok, lines_per_order)
+    l_odate = np.repeat(o_date, lines_per_order)
+    l_linenumber = np.concatenate(
+        [np.arange(1, c + 1) for c in lines_per_order]
+    ).astype(np.int64)
+    l_part = rng.integers(1, n_part + 1, n_line).astype(np.int64)
+    supp_choice = rng.integers(0, 4, n_line)
+    l_supp = ((l_part + supp_choice * (n_supp // 4 + (l_part - 1) // n_supp))
+              % n_supp) + 1
+    l_qty = rng.integers(1, 51, n_line).astype(np.float64)
+    retail = data["part"]["p_retailprice"][l_part - 1]
+    l_extprice = np.round(l_qty * retail, 2)
+    l_discount = np.round(rng.integers(0, 11, n_line) / 100.0, 2)
+    l_tax = np.round(rng.integers(0, 9, n_line) / 100.0, 2)
+    l_ship = (l_odate + rng.integers(1, 122, n_line)).astype(np.int32)
+    l_commit = (l_odate + rng.integers(30, 91, n_line)).astype(np.int32)
+    l_receipt = (l_ship + rng.integers(1, 31, n_line)).astype(np.int32)
+    returnable = l_receipt <= CURRENT_DATE
+    flags = np.where(returnable,
+                     np.where(rng.random(n_line) < 0.5, "R", "A"), "N")
+    status = np.where(l_ship > CURRENT_DATE, "O", "F")
+    data["lineitem"] = {
+        "l_orderkey": l_order,
+        "l_partkey": l_part,
+        "l_suppkey": l_supp.astype(np.int64),
+        "l_linenumber": l_linenumber,
+        "l_quantity": l_qty,
+        "l_extendedprice": l_extprice,
+        "l_discount": l_discount,
+        "l_tax": l_tax,
+        "l_returnflag": flags.astype(object),
+        "l_linestatus": status.astype(object),
+        "l_shipdate": l_ship,
+        "l_commitdate": l_commit,
+        "l_receiptdate": l_receipt,
+        "l_shipinstruct": rng.choice(SHIP_INSTRUCT, n_line).astype(object),
+        "l_shipmode": rng.choice(SHIP_MODES, n_line).astype(object),
+        "l_comment": _comments(rng, n_line, 3),
+    }
+
+    # o_totalprice = sum(extprice*(1+tax)*(1-discount)) per order;
+    # o_orderstatus = F if all lines F, O if all O, else P
+    gross = l_extprice * (1.0 + l_tax) * (1.0 - l_discount)
+    totals = np.bincount(l_order, weights=gross, minlength=n_orders + 1)
+    data["orders"]["o_totalprice"] = np.round(totals[1:], 2)
+    f_lines = np.bincount(l_order, weights=(status == "F"),
+                          minlength=n_orders + 1)[1:]
+    all_lines = lines_per_order.astype(np.float64)
+    o_status = np.where(f_lines == all_lines, "F",
+                        np.where(f_lines == 0, "O", "P"))
+    data["orders"]["o_orderstatus"] = o_status.astype(object)
+
+    return data
+
+
+def table_sizes(data: Dict[str, Dict[str, np.ndarray]]) -> Dict[str, int]:
+    return {name: len(next(iter(cols.values())))
+            for name, cols in data.items()}

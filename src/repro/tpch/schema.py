@@ -1,0 +1,127 @@
+"""The TPC-H schema with the paper's physical design (section 8).
+
+"Clustered indexes are defined for region and part on their primary keys;
+orders is clustered on o_orderdate, and lineitem, partsupp and nation are
+clustered on their foreign keys l_orderkey, ps_partkey and n_regionkey.
+We also partition lineitem and orders on l_orderkey and o_orderkey
+respectively, as well as part and partsupp on p_partkey and ps_partkey,
+as well as customer on c_custkey" -- all with the same partition count so
+lineitem-orders and part-partsupp joins are co-located. supplier, nation
+and region stay non-partitioned, i.e. replicated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.types import DATE, DECIMAL, FLOAT64, INT32, INT64, STRING
+from repro.storage.schema import Column, ForeignKey, TableSchema
+
+
+def tpch_schemas(n_partitions: int = 12) -> Dict[str, TableSchema]:
+    """Build all eight table schemas (paper default: 180 partitions)."""
+    return {
+        "region": TableSchema(
+            "region",
+            [Column("r_regionkey", INT64), Column("r_name", STRING),
+             Column("r_comment", STRING)],
+            primary_key=("r_regionkey",),
+            clustered_on=("r_regionkey",),
+        ),
+        "nation": TableSchema(
+            "nation",
+            [Column("n_nationkey", INT64), Column("n_name", STRING),
+             Column("n_regionkey", INT64), Column("n_comment", STRING)],
+            primary_key=("n_nationkey",),
+            foreign_keys=[ForeignKey(("n_regionkey",), "region",
+                                     ("r_regionkey",))],
+            clustered_on=("n_regionkey",),
+        ),
+        "supplier": TableSchema(
+            "supplier",
+            [Column("s_suppkey", INT64), Column("s_name", STRING),
+             Column("s_address", STRING), Column("s_nationkey", INT64),
+             Column("s_phone", STRING), Column("s_acctbal", DECIMAL),
+             Column("s_comment", STRING)],
+            primary_key=("s_suppkey",),
+            foreign_keys=[ForeignKey(("s_nationkey",), "nation",
+                                     ("n_nationkey",))],
+        ),
+        "customer": TableSchema(
+            "customer",
+            [Column("c_custkey", INT64), Column("c_name", STRING),
+             Column("c_address", STRING), Column("c_nationkey", INT64),
+             Column("c_phone", STRING), Column("c_acctbal", DECIMAL),
+             Column("c_mktsegment", STRING), Column("c_comment", STRING)],
+            primary_key=("c_custkey",),
+            foreign_keys=[ForeignKey(("c_nationkey",), "nation",
+                                     ("n_nationkey",))],
+            partition_key=("c_custkey",),
+            n_partitions=n_partitions,
+        ),
+        "part": TableSchema(
+            "part",
+            [Column("p_partkey", INT64), Column("p_name", STRING),
+             Column("p_mfgr", STRING), Column("p_brand", STRING),
+             Column("p_type", STRING), Column("p_size", INT64),
+             Column("p_container", STRING), Column("p_retailprice", DECIMAL),
+             Column("p_comment", STRING)],
+            primary_key=("p_partkey",),
+            clustered_on=("p_partkey",),
+            partition_key=("p_partkey",),
+            n_partitions=n_partitions,
+        ),
+        "partsupp": TableSchema(
+            "partsupp",
+            [Column("ps_partkey", INT64), Column("ps_suppkey", INT64),
+             Column("ps_availqty", INT64), Column("ps_supplycost", DECIMAL),
+             Column("ps_comment", STRING)],
+            primary_key=("ps_partkey", "ps_suppkey"),
+            foreign_keys=[
+                ForeignKey(("ps_partkey",), "part", ("p_partkey",)),
+                ForeignKey(("ps_suppkey",), "supplier", ("s_suppkey",)),
+            ],
+            clustered_on=("ps_partkey",),
+            partition_key=("ps_partkey",),
+            n_partitions=n_partitions,
+        ),
+        "orders": TableSchema(
+            "orders",
+            [Column("o_orderkey", INT64), Column("o_custkey", INT64),
+             Column("o_orderstatus", STRING), Column("o_totalprice", DECIMAL),
+             Column("o_orderdate", DATE), Column("o_orderpriority", STRING),
+             Column("o_clerk", STRING), Column("o_shippriority", INT64),
+             Column("o_comment", STRING)],
+            primary_key=("o_orderkey",),
+            foreign_keys=[ForeignKey(("o_custkey",), "customer",
+                                     ("c_custkey",))],
+            clustered_on=("o_orderdate",),
+            partition_key=("o_orderkey",),
+            n_partitions=n_partitions,
+        ),
+        "lineitem": TableSchema(
+            "lineitem",
+            [Column("l_orderkey", INT64), Column("l_partkey", INT64),
+             Column("l_suppkey", INT64), Column("l_linenumber", INT64),
+             Column("l_quantity", DECIMAL), Column("l_extendedprice", DECIMAL),
+             Column("l_discount", DECIMAL), Column("l_tax", DECIMAL),
+             Column("l_returnflag", STRING), Column("l_linestatus", STRING),
+             Column("l_shipdate", DATE), Column("l_commitdate", DATE),
+             Column("l_receiptdate", DATE), Column("l_shipinstruct", STRING),
+             Column("l_shipmode", STRING), Column("l_comment", STRING)],
+            # no PK, as in the paper's DDL
+            foreign_keys=[
+                ForeignKey(("l_orderkey",), "orders", ("o_orderkey",)),
+                ForeignKey(("l_partkey", "l_suppkey"), "partsupp",
+                           ("ps_partkey", "ps_suppkey")),
+            ],
+            clustered_on=("l_orderkey",),
+            partition_key=("l_orderkey",),
+            n_partitions=n_partitions,
+        ),
+    }
+
+
+#: load order respecting foreign keys
+LOAD_ORDER = ["region", "nation", "supplier", "customer", "part",
+              "partsupp", "orders", "lineitem"]

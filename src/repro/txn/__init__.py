@@ -1,0 +1,19 @@
+"""Distributed transactions: per-partition WALs, 2PC, log shipping.
+
+Paper section 6: each table partition has its own WAL, read and written
+only by the partition's responsible node (whose RAM holds its PDTs); a
+much-reduced *global* WAL, written by the session master, carries the
+2-phase-commit decisions -- and because it lives in HDFS, any worker can
+take over the session-master role. Changes to replicated tables are
+log-shipped to all workers so their replicated PDTs stay current.
+"""
+
+from repro.txn.wal import WalManager, WalRecord
+from repro.txn.manager import DistributedTransaction, TransactionManager
+
+__all__ = [
+    "WalManager",
+    "WalRecord",
+    "DistributedTransaction",
+    "TransactionManager",
+]

@@ -1,0 +1,116 @@
+"""Write-ahead logs on HDFS.
+
+One WAL file per table partition (only its responsible node touches it)
+plus one reduced global WAL for 2PC decisions, DDL and MinMax snapshots.
+Records are length-prefixed pickled frames appended to HDFS files; after
+update propagation a partition's WAL is re-created empty (HDFS cannot
+truncate, so delete + create -- the same chunk-file trick as table data).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.hdfs.cluster import HdfsCluster
+
+_LEN = struct.Struct("<I")
+
+
+@dataclass
+class WalRecord:
+    """One log record: a commit, DDL statement or MinMax snapshot."""
+
+    kind: str  # "commit" | "ddl" | "minmax" | "decision"
+    payload: object
+
+    def to_bytes(self) -> bytes:
+        body = pickle.dumps((self.kind, self.payload), protocol=4)
+        return _LEN.pack(len(body)) + body
+
+    @classmethod
+    def stream_from(cls, data: bytes) -> Iterator["WalRecord"]:
+        offset = 0
+        while offset < len(data):
+            (length,) = _LEN.unpack_from(data, offset)
+            offset += _LEN.size
+            kind, payload = pickle.loads(data[offset: offset + length])
+            offset += length
+            yield cls(kind, payload)
+
+
+class WalManager:
+    """Creates, appends and replays WALs for one database."""
+
+    def __init__(self, hdfs: HdfsCluster, db_path: str = "/db"):
+        self.hdfs = hdfs
+        self.base = f"{db_path.rstrip('/')}/wal"
+
+    # -- paths ---------------------------------------------------------------
+
+    def partition_wal_path(self, table: str, pid: int) -> str:
+        return f"{self.base}/{table}/part-{pid:04d}.wal"
+
+    @property
+    def global_wal_path(self) -> str:
+        return f"{self.base}/global.wal"
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def create_partition_wal(self, table: str, pid: int,
+                             writer: Optional[str] = None) -> None:
+        path = self.partition_wal_path(table, pid)
+        if not self.hdfs.exists(path):
+            self.hdfs.create(path, writer)
+
+    def ensure_global_wal(self, writer: Optional[str] = None) -> None:
+        if not self.hdfs.exists(self.global_wal_path):
+            self.hdfs.create(self.global_wal_path, writer)
+
+    def reset_partition_wal(self, table: str, pid: int,
+                            writer: Optional[str] = None) -> None:
+        """After update propagation the old log is obsolete: delete+create."""
+        path = self.partition_wal_path(table, pid)
+        if self.hdfs.exists(path):
+            self.hdfs.delete(path)
+        self.hdfs.create(path, writer)
+
+    # -- appends ------------------------------------------------------------------
+
+    def log_commit(self, table: str, pid: int, txn_id: int, entries,
+                   writer: Optional[str] = None) -> int:
+        record = WalRecord("commit", (txn_id, entries))
+        data = record.to_bytes()
+        self.hdfs.append(self.partition_wal_path(table, pid), data, writer)
+        return len(data)
+
+    def log_minmax(self, table: str, pid: int, minmax_record: dict,
+                   writer: Optional[str] = None) -> None:
+        record = WalRecord("minmax", minmax_record)
+        self.hdfs.append(self.partition_wal_path(table, pid),
+                         record.to_bytes(), writer)
+
+    def log_global(self, kind: str, payload,
+                   writer: Optional[str] = None) -> None:
+        self.ensure_global_wal(writer)
+        self.hdfs.append(self.global_wal_path,
+                         WalRecord(kind, payload).to_bytes(), writer)
+
+    # -- replay ----------------------------------------------------------------------
+
+    def replay_partition(self, table: str, pid: int,
+                         reader: Optional[str] = None) -> List[WalRecord]:
+        """Read a partition WAL (e.g. when a new responsible node starts)."""
+        path = self.partition_wal_path(table, pid)
+        if not self.hdfs.exists(path):
+            return []
+        data = self.hdfs.read(path, reader=reader)
+        return list(WalRecord.stream_from(data))
+
+    def replay_global(self, reader: Optional[str] = None) -> List[WalRecord]:
+        if not self.hdfs.exists(self.global_wal_path):
+            return []
+        data = self.hdfs.read(self.global_wal_path, reader=reader)
+        return list(WalRecord.stream_from(data))

@@ -1,0 +1,24 @@
+"""Simulated YARN: resource manager, node managers, containers, preemption.
+
+Paper section 4: VectorH cannot run its long-lived server processes *inside*
+YARN containers (containers cannot be resized and restarts would dump the
+buffer pool), so it runs **out-of-band**: real Vectorwise processes outside
+YARN, plus dummy sleeper containers in resource "slices" that represent its
+footprint to the rest of the cluster, managed by a ``DbAgent``. Growing or
+shrinking the footprint means starting or stopping slices; a YARN
+preemption kills a slice and dbAgent reacts by telling the session master
+to shrink its workload-management budget.
+"""
+
+from repro.yarn.resources import Container, NodeManager, NodeReport
+from repro.yarn.manager import ResourceManager, YarnApplication
+from repro.yarn.dbagent import DbAgent
+
+__all__ = [
+    "Container",
+    "NodeManager",
+    "NodeReport",
+    "ResourceManager",
+    "YarnApplication",
+    "DbAgent",
+]

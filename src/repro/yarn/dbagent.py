@@ -1,0 +1,178 @@
+"""dbAgent: VectorH's out-of-band YARN client (paper section 4).
+
+dbAgent (i) selects the worker set from the viable-machine list using YARN
+node reports and HDFS block locality, (ii) represents VectorH's footprint to
+YARN as *slices* -- one AM with dummy containers per resource increment so
+the footprint can grow and shrink without restarting the database -- and
+(iii) reacts to preemption by instructing the session master to reduce the
+cores/memory used by workload management.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import YarnError
+from repro.flow.assignment import select_worker_set
+from repro.hdfs.cluster import HdfsCluster
+from repro.yarn.manager import ResourceManager, YarnApplication
+from repro.yarn.resources import Container
+
+FootprintCallback = Callable[[Dict[str, int]], None]
+
+
+@dataclass
+class _Slice:
+    """One resource slice: a dummy container per worker node."""
+
+    app: YarnApplication
+    cores_per_node: int
+    memory_mb_per_node: int
+    containers: List[Container] = field(default_factory=list)
+
+
+class DbAgent:
+    """Negotiates resources for a VectorH worker set."""
+
+    def __init__(
+        self,
+        rm: ResourceManager,
+        hdfs: HdfsCluster,
+        viable_machines: List[str],
+        queue: str = "default",
+        slice_cores: int = 4,
+        slice_memory_mb: int = 8192,
+    ):
+        self.rm = rm
+        self.hdfs = hdfs
+        self.viable_machines = list(viable_machines)
+        self.queue = queue
+        self.slice_cores = slice_cores
+        self.slice_memory_mb = slice_memory_mb
+        self.worker_set: List[str] = []
+        self.slices: List[_Slice] = []
+        #: called with {node: cores} whenever the footprint changes
+        self.on_footprint_change: Optional[FootprintCallback] = None
+
+    # -- worker-set selection ---------------------------------------------------
+
+    def local_bytes_per_node(self, path_prefix: str = "") -> Dict[str, int]:
+        """How many HDFS bytes of VectorH data each machine stores locally."""
+        totals: Dict[str, int] = {m: 0 for m in self.viable_machines}
+        for path in self.hdfs.list_files(path_prefix):
+            size = self.hdfs.file_size(path)
+            for holder in self.hdfs.replica_locations(path):
+                if holder in totals:
+                    totals[holder] += size
+        return totals
+
+    def negotiate_worker_set(self, num_workers: int,
+                             path_prefix: str = "") -> List[str]:
+        """Pick the N viable machines with most locality and free resources."""
+        reports = {r.node: r for r in self.rm.cluster_node_reports()}
+        has_resources = {
+            m: (m in reports
+                and reports[m].free_cores >= self.slice_cores
+                and reports[m].free_memory_mb >= self.slice_memory_mb)
+            for m in self.viable_machines
+        }
+        alive = set(self.hdfs.alive_nodes())
+        for m in self.viable_machines:
+            if m not in alive:
+                has_resources[m] = False
+        self.worker_set = select_worker_set(
+            self.viable_machines, num_workers,
+            self.local_bytes_per_node(path_prefix), has_resources,
+        )
+        if not self.worker_set:
+            raise YarnError("no viable machines with free resources")
+        return self.worker_set
+
+    # -- footprint management ------------------------------------------------------
+
+    def grow_footprint(self, num_slices: int = 1) -> int:
+        """Start ``num_slices`` dummy-container slices across the worker set."""
+        started = 0
+        for _ in range(num_slices):
+            app = self.rm.submit_application(
+                "vectorh-slice", self.queue, on_preempt=self._handle_preempt
+            )
+            new_slice = _Slice(app, self.slice_cores, self.slice_memory_mb)
+            try:
+                for node in self.worker_set:
+                    container = self.rm.request_container(
+                        app, node, self.slice_cores, self.slice_memory_mb,
+                        allow_preemption=False,
+                    )
+                    new_slice.containers.append(container)
+            except YarnError:
+                self.rm.kill_application(app.app_id)
+                break
+            self.slices.append(new_slice)
+            started += 1
+        if started:
+            self._notify()
+        return started
+
+    def shrink_footprint(self, num_slices: int = 1) -> int:
+        """Stop slices voluntarily (e.g. idle workload, automatic footprint)."""
+        stopped = 0
+        for _ in range(min(num_slices, len(self.slices))):
+            victim = self.slices.pop()
+            self.rm.kill_application(victim.app.app_id)
+            stopped += 1
+        if stopped:
+            self._notify()
+        return stopped
+
+    def negotiate_to_target(self, target_slices: int) -> int:
+        """Periodic renegotiation back toward the configured target."""
+        if len(self.slices) < target_slices:
+            self.grow_footprint(target_slices - len(self.slices))
+        elif len(self.slices) > target_slices:
+            self.shrink_footprint(len(self.slices) - target_slices)
+        return len(self.slices)
+
+    def current_footprint(self) -> Dict[str, int]:
+        """{node: cores} currently granted to VectorH."""
+        footprint: Dict[str, int] = {node: 0 for node in self.worker_set}
+        for sl in self.slices:
+            for container in sl.containers:
+                if container.running:
+                    footprint[container.node] = (
+                        footprint.get(container.node, 0) + container.cores
+                    )
+        return footprint
+
+    # -- automatic footprint (paper section 4) --------------------------------
+
+    def auto_footprint(self, active_queries: int,
+                       queries_per_slice: int = 2,
+                       min_slices: int = 1,
+                       max_slices: int = 8) -> int:
+        """Self-regulate the desired core/memory footprint from workload.
+
+        "Using the automatic footprint option, VectorH can also
+        self-regulate its desired core/memory footprint depending on the
+        query workload." One slice serves ``queries_per_slice`` concurrent
+        queries; the footprint follows the load within [min, max].
+        """
+        desired = max(min_slices,
+                      min(max_slices,
+                          -(-active_queries // queries_per_slice)))
+        return self.negotiate_to_target(desired)
+
+    # -- preemption ---------------------------------------------------------------
+
+    def _handle_preempt(self, container: Container) -> None:
+        """YARN killed one of our dummies: shrink workload management."""
+        for sl in self.slices:
+            if container in sl.containers:
+                sl.containers.remove(container)
+        self.slices = [sl for sl in self.slices if sl.containers]
+        self._notify()
+
+    def _notify(self) -> None:
+        if self.on_footprint_change is not None:
+            self.on_footprint_change(self.current_footprint())

@@ -1,0 +1,141 @@
+"""The YARN ResourceManager with capacity-style queues and preemption.
+
+Applications are submitted to priority queues. A request from a
+higher-priority queue that cannot be satisfied preempts containers of
+lower-priority applications: the victim's preemption callback is invoked
+(YARN first "asks the AM to decrease usage") and the container is killed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import YarnError
+from repro.yarn.resources import Container, NodeManager, NodeReport
+
+PreemptionCallback = Callable[[Container], None]
+
+
+@dataclass
+class YarnApplication:
+    """An application (and implicitly its ApplicationMaster)."""
+
+    app_id: str
+    queue: str
+    containers: List[Container] = field(default_factory=list)
+    on_preempt: Optional[PreemptionCallback] = None
+
+    def live_containers(self) -> List[Container]:
+        return [c for c in self.containers if c.running]
+
+
+class ResourceManager:
+    """Cluster-wide resource arbitration."""
+
+    def __init__(self, queue_priorities: Dict[str, int] | None = None):
+        # Higher number = higher priority. "default" sits in the middle.
+        self.queue_priorities = queue_priorities or {"default": 5}
+        self.node_managers: Dict[str, NodeManager] = {}
+        self.applications: Dict[str, YarnApplication] = {}
+        self._container_ids = itertools.count(1)
+        self._app_ids = itertools.count(1)
+
+    # -- cluster membership ----------------------------------------------------
+
+    def register_node(self, node: str, cores: int, memory_mb: int) -> None:
+        self.node_managers[node] = NodeManager(node, cores, memory_mb)
+
+    def unregister_node(self, node: str) -> None:
+        nm = self.node_managers.pop(node, None)
+        if nm is None:
+            raise YarnError(f"unknown node {node}")
+        for container in list(nm.containers.values()):
+            self._kill(container)
+
+    def cluster_node_reports(self) -> List[NodeReport]:
+        """What dbAgent asks for when sizing the worker set."""
+        return [nm.report() for nm in self.node_managers.values()]
+
+    # -- application lifecycle ---------------------------------------------------
+
+    def submit_application(self, name: str, queue: str = "default",
+                           on_preempt: PreemptionCallback | None = None
+                           ) -> YarnApplication:
+        if queue not in self.queue_priorities:
+            raise YarnError(f"unknown queue {queue}")
+        app = YarnApplication(
+            app_id=f"{name}-{next(self._app_ids):04d}",
+            queue=queue,
+            on_preempt=on_preempt,
+        )
+        self.applications[app.app_id] = app
+        return app
+
+    def kill_application(self, app_id: str) -> None:
+        app = self.applications.pop(app_id, None)
+        if app is None:
+            raise YarnError(f"unknown application {app_id}")
+        for container in app.live_containers():
+            self._kill(container)
+
+    # -- allocation ---------------------------------------------------------------
+
+    def request_container(self, app: YarnApplication, node: str,
+                          cores: int, memory_mb: int,
+                          allow_preemption: bool = True) -> Container:
+        """Allocate a container on a specific node (VectorH needs locality)."""
+        nm = self.node_managers.get(node)
+        if nm is None:
+            raise YarnError(f"unknown node {node}")
+        if not nm.can_fit(cores, memory_mb) and allow_preemption:
+            self._preempt_for(app, nm, cores, memory_mb)
+        if not nm.can_fit(cores, memory_mb):
+            raise YarnError(
+                f"insufficient resources on {node} for {app.app_id}"
+            )
+        container = Container(
+            container_id=next(self._container_ids),
+            node=node, cores=cores, memory_mb=memory_mb, app_id=app.app_id,
+        )
+        nm.launch(container)
+        app.containers.append(container)
+        return container
+
+    def release_container(self, container: Container) -> None:
+        self._kill(container, notify=False)
+
+    # -- preemption -----------------------------------------------------------------
+
+    def _priority(self, app_id: str) -> int:
+        app = self.applications.get(app_id)
+        if app is None:
+            return -1
+        return self.queue_priorities.get(app.queue, 0)
+
+    def _preempt_for(self, app: YarnApplication, nm: NodeManager,
+                     cores: int, memory_mb: int) -> None:
+        """Kill lower-priority containers on this node until the ask fits."""
+        my_priority = self.queue_priorities[app.queue]
+        victims = sorted(
+            (c for c in nm.containers.values()
+             if self._priority(c.app_id) < my_priority),
+            key=lambda c: self._priority(c.app_id),
+        )
+        for victim in victims:
+            if nm.can_fit(cores, memory_mb):
+                break
+            self._kill(victim)
+
+    def _kill(self, container: Container, notify: bool = True) -> None:
+        nm = self.node_managers.get(container.node)
+        if nm is not None and container.container_id in nm.containers:
+            nm.kill(container.container_id)
+        container.running = False
+        app = self.applications.get(container.app_id)
+        if app is not None:
+            if container in app.containers:
+                app.containers.remove(container)
+            if notify and app.on_preempt is not None:
+                app.on_preempt(container)

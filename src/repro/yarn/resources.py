@@ -1,0 +1,85 @@
+"""Containers and per-node resource tracking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.common.errors import YarnError
+
+
+@dataclass
+class Container:
+    """A YARN container: a (cores, memory) grant on one node."""
+
+    container_id: int
+    node: str
+    cores: int
+    memory_mb: int
+    app_id: str
+    running: bool = True
+
+
+@dataclass
+class NodeReport:
+    """Snapshot of one node's resources, as returned to YARN clients."""
+
+    node: str
+    total_cores: int
+    total_memory_mb: int
+    used_cores: int
+    used_memory_mb: int
+
+    @property
+    def free_cores(self) -> int:
+        return self.total_cores - self.used_cores
+
+    @property
+    def free_memory_mb(self) -> int:
+        return self.total_memory_mb - self.used_memory_mb
+
+
+class NodeManager:
+    """Tracks containers and enforces capacity on one node."""
+
+    def __init__(self, node: str, cores: int, memory_mb: int):
+        self.node = node
+        self.total_cores = cores
+        self.total_memory_mb = memory_mb
+        self.containers: Dict[int, Container] = {}
+
+    @property
+    def used_cores(self) -> int:
+        return sum(c.cores for c in self.containers.values())
+
+    @property
+    def used_memory_mb(self) -> int:
+        return sum(c.memory_mb for c in self.containers.values())
+
+    def can_fit(self, cores: int, memory_mb: int) -> bool:
+        return (self.used_cores + cores <= self.total_cores
+                and self.used_memory_mb + memory_mb <= self.total_memory_mb)
+
+    def launch(self, container: Container) -> None:
+        if not self.can_fit(container.cores, container.memory_mb):
+            raise YarnError(
+                f"node {self.node} cannot fit container "
+                f"({container.cores} cores, {container.memory_mb} MB)"
+            )
+        self.containers[container.container_id] = container
+
+    def kill(self, container_id: int) -> Container:
+        container = self.containers.pop(container_id, None)
+        if container is None:
+            raise YarnError(f"no container {container_id} on {self.node}")
+        container.running = False
+        return container
+
+    def report(self) -> NodeReport:
+        return NodeReport(
+            node=self.node,
+            total_cores=self.total_cores,
+            total_memory_mb=self.total_memory_mb,
+            used_cores=self.used_cores,
+            used_memory_mb=self.used_memory_mb,
+        )

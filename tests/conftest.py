@@ -1,0 +1,71 @@
+"""Shared fixtures: scaled-down config, a small cluster, a tiny TPC-H DB."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.config import Config
+from repro.cluster import VectorHCluster
+from repro.tpch import generate_tpch, tpch_schemas
+from repro.tpch.schema import LOAD_ORDER
+
+
+@pytest.fixture()
+def config() -> Config:
+    return Config().scaled_for_tests()
+
+
+@pytest.fixture()
+def cluster(config) -> VectorHCluster:
+    return VectorHCluster(n_nodes=4, config=config)
+
+
+@pytest.fixture(scope="session")
+def tpch_data():
+    return generate_tpch(scale_factor=0.002, seed=42)
+
+
+@pytest.fixture(scope="session")
+def tpch_cluster(tpch_data):
+    """A loaded TPC-H cluster shared by read-only query tests."""
+    cluster = VectorHCluster(n_nodes=4, config=Config().scaled_for_tests())
+    schemas = tpch_schemas(n_partitions=6)
+    for name in LOAD_ORDER:
+        cluster.create_table(schemas[name])
+        cluster.bulk_load(name, tpch_data[name])
+    return cluster
+
+
+def normalized_rows(batch, ndigits: int = 2):
+    """Order-insensitive, float-tolerant row multiset for comparisons."""
+    if batch.n == 0:
+        return []
+    cols = sorted(batch.columns)
+    rows = []
+    for i in range(batch.n):
+        row = []
+        for name in cols:
+            v = batch.columns[name][i]
+            if isinstance(v, (float, np.floating)):
+                row.append(round(float(v), ndigits))
+            elif isinstance(v, np.integer):
+                row.append(int(v))
+            else:
+                row.append(v)
+        rows.append(tuple(row))
+    return sorted(rows, key=repr)
+
+
+def assert_batches_match(a, b, rel_tol: float = 1e-4):
+    """Compare result batches as multisets with relative float tolerance."""
+    ra, rb = normalized_rows(a, 6), normalized_rows(b, 6)
+    assert len(ra) == len(rb), f"row counts differ: {len(ra)} vs {len(rb)}"
+    for x, y in zip(ra, rb):
+        assert len(x) == len(y)
+        for u, v in zip(x, y):
+            if isinstance(u, float) and isinstance(v, float):
+                scale = max(abs(u), abs(v), 1.0)
+                assert abs(u - v) <= rel_tol * scale, (x, y)
+            else:
+                assert u == v, (x, y)

@@ -1,0 +1,163 @@
+"""Integration tests for the cluster facade: DDL, failover, elasticity."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import Config
+from repro.common.errors import ReproError, StorageError
+from repro.common.types import INT64, STRING
+from repro.cluster import VectorHCluster
+from repro.engine.expressions import Col
+from repro.mpp.logical import LAggr, LJoin, LScan
+from repro.storage import Column, TableSchema
+
+
+def two_table_cluster(n_nodes=4):
+    c = VectorHCluster(n_nodes=n_nodes, config=Config().scaled_for_tests())
+    for name, key in [("r", "rk"), ("s", "sk")]:
+        c.create_table(TableSchema(
+            name, [Column(key, INT64), Column(f"{name}_v", INT64)],
+            partition_key=(key,), n_partitions=12))
+    rng = np.random.default_rng(1)
+    c.bulk_load("r", {"rk": np.arange(2000),
+                      "r_v": rng.integers(0, 10, 2000)})
+    c.bulk_load("s", {"sk": np.arange(2000),
+                      "s_v": rng.integers(0, 10, 2000)})
+    return c
+
+
+def join_count(c):
+    plan = LAggr(
+        LJoin(build=LScan("r", ["rk"]), probe=LScan("s", ["sk"]),
+              build_keys=["rk"], probe_keys=["sk"]),
+        [], [("n", "count", None)])
+    return int(c.query(plan).batch.columns["n"][0])
+
+
+class TestDdl:
+    def test_create_assigns_affinity_and_wal(self):
+        c = two_table_cluster()
+        stored = c.tables["r"]
+        for pid in range(stored.n_partitions):
+            tag = stored.partition_tag(pid)
+            assert tag in c.placement.affinity
+            assert c.hdfs.exists(c.wal.partition_wal_path("r", pid))
+
+    def test_duplicate_table_rejected(self):
+        c = two_table_cluster()
+        with pytest.raises(StorageError):
+            c.create_table(TableSchema("r", [Column("x", INT64)]))
+
+    def test_drop_table(self):
+        c = two_table_cluster()
+        c.drop_table("r")
+        assert "r" not in c.tables
+        assert not c.hdfs.list_files("/db/r/")
+
+    def test_matching_partitions_colocated(self):
+        """Same pid of co-partitioned tables lives on the same nodes."""
+        c = two_table_cluster()
+        for pid in range(12):
+            assert c.responsible("r", pid) == c.responsible("s", pid)
+
+    def test_responsible_node_holds_primary_replica(self):
+        c = two_table_cluster()
+        stored = c.tables["r"]
+        for pid in range(12):
+            node = c.responsible("r", pid)
+            for path in stored.partitions[pid].file_paths():
+                assert node in c.hdfs.replica_locations(path)
+
+
+class TestLocality:
+    def test_scans_fully_short_circuited(self):
+        c = two_table_cluster()
+        c.reset_io_counters()
+        c.clear_buffer_pools()
+        c.query(LAggr(LScan("r", ["rk", "r_v"]), [],
+                      [("n", "count", None)]))
+        assert c.hdfs.locality_fraction() == 1.0
+
+    def test_colocated_join_no_network_data(self):
+        c = two_table_cluster()
+        c.reset_io_counters()
+        n = join_count(c)
+        assert n == 2000
+        # only the DXchgUnion gather and 2PC-free coordination remain
+        res = c.query(LAggr(LScan("r", ["rk"]), [], [("n", "count", None)]))
+        assert res.network_bytes < 10_000
+
+
+class TestFailover:
+    def test_failover_preserves_results(self):
+        c = two_table_cluster()
+        before = join_count(c)
+        c.fail_node(c.workers[-1])
+        assert join_count(c) == before
+
+    def test_failover_preserves_colocation(self):
+        c = two_table_cluster()
+        c.fail_node(c.workers[-1])
+        for pid in range(12):
+            assert c.responsible("r", pid) == c.responsible("s", pid)
+            node = c.responsible("r", pid)
+            paths = c.tables["r"].partitions[pid].file_paths()
+            for path in paths:
+                assert node in c.hdfs.replica_locations(path)
+
+    def test_failover_rebuilds_pdts_from_wal(self):
+        c = two_table_cluster()
+        t = c.begin()
+        c.insert("r", {"rk": np.array([10**6]), "r_v": np.array([1])},
+                 trans=t, force_pdt=True)
+        t.commit()
+        info = c.fail_node(c.workers[-1])
+        assert info["wal_replayed_bytes"] > 0
+        plan = LAggr(LScan("r", ["rk"]), [], [("n", "count", None)])
+        assert int(c.query(plan).batch.columns["n"][0]) == 2001
+
+    def test_session_master_moves_if_needed(self):
+        c = two_table_cluster()
+        victim = c.session_master
+        c.fail_node(victim)
+        assert c.session_master != victim
+        assert c.session_master in c.workers
+
+    def test_fail_unknown_node_rejected(self):
+        c = two_table_cluster()
+        with pytest.raises(ReproError):
+            c.fail_node("bogus")
+
+    def test_two_failures_survived(self):
+        c = two_table_cluster(n_nodes=5)
+        before = join_count(c)
+        c.fail_node(c.workers[-1])
+        c.fail_node(c.workers[-1])
+        assert join_count(c) == before
+
+    def test_updates_after_failover(self):
+        c = two_table_cluster()
+        c.fail_node(c.workers[-1])
+        deleted = c.delete_where("r", Col("rk") < 100)
+        assert deleted == 100
+        plan = LAggr(LScan("r", ["rk"]), [], [("n", "count", None)])
+        assert int(c.query(plan).batch.columns["n"][0]) == 1900
+
+
+class TestPropagation:
+    def test_propagate_updates_clears_pdts(self):
+        c = two_table_cluster()
+        c.delete_where("r", Col("rk") < 50)
+        stats = c.propagate_updates("r", force=True)
+        assert stats["full"] > 0
+        assert all(s.total_entries() == 0 for s in c.tables["r"].pdt)
+        plan = LAggr(LScan("r", ["rk"]), [], [("n", "count", None)])
+        assert int(c.query(plan).batch.columns["n"][0]) == 1950
+
+    def test_buffer_pools_invalidated_after_propagation(self):
+        c = two_table_cluster()
+        c.query(LAggr(LScan("r", ["rk"]), [], [("n", "count", None)]))
+        c.delete_where("r", Col("rk") < 50)
+        c.propagate_updates("r", force=True)
+        plan = LAggr(LScan("r", ["rk"]), [], [("n", "count", None)])
+        assert int(c.query(plan).batch.columns["n"][0]) == 1950

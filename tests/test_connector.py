@@ -1,0 +1,164 @@
+"""Tests for the Spark-VectorH connector, matching and vwload."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import Config
+from repro.common.errors import StorageError
+from repro.common.types import DATE, INT64, STRING
+from repro.cluster import VectorHCluster
+from repro.connector import (
+    InputRdd,
+    VectorHRdd,
+    VwLoadOptions,
+    match_partitions,
+    spark_load,
+    vwload,
+)
+from repro.connector.matching import locality_fraction
+from repro.connector.rdd import RddPartition
+from repro.mpp.logical import LAggr, LScan
+from repro.storage import Column, TableSchema
+
+
+@pytest.fixture()
+def cluster():
+    config = Config().scaled_for_tests()
+    config.hdfs_block_size = 2048  # small blocks: multi-partition files
+    c = VectorHCluster(n_nodes=4, config=config)
+    c.create_table(TableSchema(
+        "ints", [Column(f"c{i}", INT64) for i in range(10)],
+        partition_key=("c0",), n_partitions=8))
+    return c
+
+
+def write_csv_files(cluster, n_files=4, rows_per_file=200):
+    rng = np.random.default_rng(0)
+    paths = []
+    for f in range(n_files):
+        lines = []
+        for r in range(rows_per_file):
+            values = [f * rows_per_file + r] + list(
+                rng.integers(0, 1000, 9)
+            )
+            lines.append("|".join(str(v) for v in values))
+        data = ("\n".join(lines) + "\n").encode()
+        path = f"/staging/input-{f:02d}.csv"
+        writer = cluster.workers[f % len(cluster.workers)]
+        cluster.hdfs.write_file(path, data, writer=writer)
+        paths.append(path)
+    return paths
+
+
+def row_count(cluster, table="ints"):
+    res = cluster.query(LAggr(LScan(table, ["c0"]), [],
+                              [("n", "count", None)]))
+    return int(res.batch.columns["n"][0])
+
+
+class TestInputRdd:
+    def test_one_partition_per_block(self, cluster):
+        paths = write_csv_files(cluster, n_files=1, rows_per_file=300)
+        rdd = InputRdd(cluster.hdfs, paths)
+        size = cluster.hdfs.file_size(paths[0])
+        expected = -(-size // cluster.config.hdfs_block_size)
+        assert len(rdd.partitions) == expected
+
+    def test_preferred_locations_are_replica_holders(self, cluster):
+        paths = write_csv_files(cluster, n_files=1)
+        rdd = InputRdd(cluster.hdfs, paths)
+        holders = set(cluster.hdfs.replica_locations(paths[0]))
+        for part in rdd.partitions:
+            assert set(part.preferred_locations) == holders
+
+
+class TestMatching:
+    def test_perfect_matching_when_possible(self):
+        parts = [RddPartition(i, "/f", 0, 1, [f"h{i % 2}"])
+                 for i in range(4)]
+        hosts = ["h0", "h1"]
+        assignment = match_partitions(parts, hosts)
+        assert locality_fraction(parts, hosts, assignment) == 1.0
+
+    def test_every_partition_assigned(self):
+        parts = [RddPartition(i, "/f", 0, 1, ["elsewhere"])
+                 for i in range(7)]
+        assignment = match_partitions(parts, ["h0", "h1", "h2"])
+        assert set(assignment) == set(range(7))
+
+    def test_balanced_capacity(self):
+        parts = [RddPartition(i, "/f", 0, 1, ["h0"]) for i in range(9)]
+        assignment = match_partitions(parts, ["h0", "h1", "h2"])
+        from collections import Counter
+        load = Counter(assignment.values())
+        assert max(load.values()) == 3  # ceil(9/3): h0 cannot take all
+
+    def test_vectorh_rdd_preferred_locations(self):
+        rdd = VectorHRdd(["n1", "n2"])
+        assert rdd.get_preferred_locations(1) == ["n2"]
+        rdd.set_dependency({0: 1})
+        assert rdd.dependency == {0: 1}
+
+
+class TestSparkLoad:
+    def test_rows_loaded_and_queryable(self, cluster):
+        paths = write_csv_files(cluster, n_files=4, rows_per_file=200)
+        report = spark_load(cluster, "ints", paths)
+        assert report.rows_loaded == 800
+        assert row_count(cluster) == 800
+
+    def test_out_of_the_box_locality(self, cluster):
+        paths = write_csv_files(cluster, n_files=4)
+        report = spark_load(cluster, "ints", paths)
+        # matching should place nearly all block reads locally
+        assert report.locality >= 0.75
+        assert report.bytes_local > report.bytes_remote
+
+
+class TestVwload:
+    def test_basic_load(self, cluster):
+        paths = write_csv_files(cluster, n_files=3, rows_per_file=100)
+        report = vwload(cluster, "ints", paths)
+        assert report.rows_loaded == 300
+        assert row_count(cluster) == 300
+
+    def test_local_tuning_reduces_remote_bytes(self, cluster):
+        paths = write_csv_files(cluster, n_files=4)
+        naive = vwload(cluster, "ints", paths)
+        tuned_cluster_config = Config().scaled_for_tests()
+        tuned = vwload(cluster, "ints", paths, prefer_local=True)
+        assert tuned.bytes_remote <= naive.bytes_remote
+        assert tuned.bytes_local >= naive.bytes_local
+
+    def test_column_subset_and_delimiter(self):
+        config = Config().scaled_for_tests()
+        c = VectorHCluster(n_nodes=3, config=config)
+        c.create_table(TableSchema(
+            "people", [Column("id", INT64), Column("name", STRING),
+                       Column("born", DATE)]))
+        c.hdfs.write_file("/in.csv", b"1;ann;1990-01-02\n2;bob;1985-12-31\n",
+                          writer=c.workers[0])
+        options = VwLoadOptions(delimiter=";")
+        report = vwload(c, "people", ["/in.csv"], options)
+        assert report.rows_loaded == 2
+        res = c.query(LScan("people", ["name", "born"]))
+        assert sorted(res.batch.columns["name"]) == ["ann", "bob"]
+
+    def test_error_skipping_and_rejected_log(self):
+        config = Config().scaled_for_tests()
+        c = VectorHCluster(n_nodes=3, config=config)
+        c.create_table(TableSchema("nums", [Column("x", INT64)]))
+        c.hdfs.write_file("/bad.csv", b"1\noops\n3\n", writer=c.workers[0])
+        options = VwLoadOptions(max_errors=1)
+        report = vwload(c, "nums", ["/bad.csv"], options)
+        assert report.rows_loaded == 2
+        assert report.rejected_rows == 1
+        assert options.rejected == ["oops"]
+
+    def test_too_many_errors_aborts(self):
+        config = Config().scaled_for_tests()
+        c = VectorHCluster(n_nodes=3, config=config)
+        c.create_table(TableSchema("nums", [Column("x", INT64)]))
+        c.hdfs.write_file("/bad.csv", b"a\nb\n", writer=c.workers[0])
+        with pytest.raises(StorageError):
+            vwload(c, "nums", ["/bad.csv"], VwLoadOptions(max_errors=0))

@@ -1,0 +1,145 @@
+"""Tests for min-cost flow and dbAgent's assignment problems (Figure 3)."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flow import (
+    MinCostFlow,
+    affinity_map,
+    responsibility_assignment,
+    select_worker_set,
+)
+
+
+class TestMinCostFlow:
+    def test_simple_path(self):
+        net = MinCostFlow()
+        net.add_edge("s", "a", 5, 1)
+        net.add_edge("a", "t", 5, 1)
+        flow, cost = net.solve("s", "t")
+        assert flow == 5 and cost == 10
+
+    def test_prefers_cheap_path(self):
+        net = MinCostFlow()
+        net.add_edge("s", "a", 1, 0)
+        net.add_edge("s", "b", 1, 10)
+        net.add_edge("a", "t", 1, 0)
+        net.add_edge("b", "t", 1, 0)
+        flow, cost = net.solve("s", "t", max_flow=1)
+        assert flow == 1 and cost == 0
+
+    def test_bottleneck_capacity(self):
+        net = MinCostFlow()
+        net.add_edge("s", "a", 10, 0)
+        net.add_edge("a", "t", 3, 0)
+        flow, _ = net.solve("s", "t")
+        assert flow == 3
+
+    def test_flow_on_edge(self):
+        net = MinCostFlow()
+        e1 = net.add_edge("s", "a", 2, 0)
+        net.add_edge("a", "t", 2, 0)
+        net.solve("s", "t")
+        assert net.flow_on(e1) == 2
+
+    def test_disconnected(self):
+        net = MinCostFlow()
+        net.add_edge("s", "a", 1, 0)
+        net.add_edge("b", "t", 1, 0)
+        flow, _ = net.solve("s", "t")
+        assert flow == 0
+
+    def test_max_flow_limit(self):
+        net = MinCostFlow()
+        net.add_edge("s", "t", 100, 1)
+        flow, cost = net.solve("s", "t", max_flow=7)
+        assert flow == 7 and cost == 7
+
+
+class TestAffinityMap:
+    def test_every_partition_gets_r_distinct_workers(self):
+        workers = ["w1", "w2", "w3", "w4"]
+        parts = list(range(12))
+        amap = affinity_map(parts, workers, {}, replication=3)
+        for p in parts:
+            assert len(amap[p]) == 3
+            assert len(set(amap[p])) == 3
+
+    def test_balanced_storage(self):
+        workers = ["w1", "w2", "w3"]
+        parts = list(range(12))
+        amap = affinity_map(parts, workers, {}, replication=3)
+        load = Counter(w for nodes in amap.values() for w in nodes)
+        assert max(load.values()) - min(load.values()) <= 1
+
+    def test_existing_locality_preserved(self):
+        """Partitions already local to survivors should not move (Fig. 2)."""
+        workers = ["w1", "w2", "w3"]
+        local = {p: {workers[p % 3], workers[(p + 1) % 3]}
+                 for p in range(9)}
+        amap = affinity_map(list(range(9)), workers, local, replication=3)
+        for p in range(9):
+            # both existing copies kept; only the third copy is new
+            assert local[p] <= set(amap[p])
+
+    def test_replication_clamped_to_workers(self):
+        amap = affinity_map([0, 1], ["w1", "w2"], {}, replication=3)
+        assert all(len(v) == 2 for v in amap.values())
+
+    def test_no_workers_raises(self):
+        with pytest.raises(ValueError):
+            affinity_map([0], [], {}, 3)
+
+    @given(st.integers(2, 5), st.integers(1, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_property_valid_assignment(self, n_workers, n_parts):
+        workers = [f"w{i}" for i in range(n_workers)]
+        amap = affinity_map(list(range(n_parts)), workers, {}, 3)
+        r = min(3, n_workers)
+        for nodes in amap.values():
+            assert len(nodes) == r and len(set(nodes)) == r
+
+
+class TestResponsibility:
+    def test_one_owner_per_partition(self):
+        resp = responsibility_assignment(list(range(12)),
+                                         ["w1", "w2", "w3"], {})
+        assert set(resp) == set(range(12))
+
+    def test_balanced(self):
+        resp = responsibility_assignment(list(range(12)),
+                                         ["w1", "w2", "w3"], {})
+        load = Counter(resp.values())
+        assert max(load.values()) == 4
+
+    def test_prefers_local(self):
+        local = {0: {"w2"}, 1: {"w3"}}
+        resp = responsibility_assignment([0, 1], ["w1", "w2", "w3"], local)
+        assert resp[0] == "w2"
+        assert resp[1] == "w3"
+
+
+class TestWorkerSelection:
+    def test_picks_most_local_bytes(self):
+        chosen = select_worker_set(
+            ["a", "b", "c"], 2,
+            local_bytes={"a": 10, "b": 999, "c": 500},
+            available_resources={"a": True, "b": True, "c": True},
+        )
+        assert chosen == ["b", "c"]
+
+    def test_excludes_busy_nodes(self):
+        chosen = select_worker_set(
+            ["a", "b", "c"], 3,
+            local_bytes={"a": 1, "b": 1, "c": 1},
+            available_resources={"a": True, "b": False, "c": True},
+        )
+        assert chosen == ["a", "c"]  # worker set shrinks
+
+    def test_stable_tiebreak(self):
+        chosen = select_worker_set(
+            ["a", "b"], 1, {}, {"a": True, "b": True}
+        )
+        assert chosen == ["a"]

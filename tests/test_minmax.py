@@ -1,0 +1,108 @@
+"""Tests for MinMax indexes: skipping, widening, soundness."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.minmax import MinMaxIndex
+
+
+def build_index(values, block=10):
+    idx = MinMaxIndex()
+    for start in range(0, len(values), block):
+        idx.add_range("x", start, np.asarray(values[start:start + block]))
+    return idx
+
+
+class TestSkipping:
+    def test_all_ranges_when_no_stats(self):
+        idx = MinMaxIndex()
+        assert idx.qualifying_ranges([("x", "<", 5)], 100) == [(0, 100)]
+
+    def test_skips_non_qualifying_blocks(self):
+        idx = build_index(list(range(100)))  # sorted 0..99, blocks of 10
+        ranges = idx.qualifying_ranges([("x", "<", 25)], 100)
+        assert ranges == [(0, 30)]
+
+    def test_equality(self):
+        idx = build_index(list(range(100)))
+        assert idx.qualifying_ranges([("x", "=", 55)], 100) == [(50, 60)]
+
+    def test_greater_than(self):
+        idx = build_index(list(range(100)))
+        assert idx.qualifying_ranges([("x", ">", 89)], 100) == [(90, 100)]
+        assert idx.qualifying_ranges([("x", ">", 88)], 100) == [(80, 100)]
+
+    def test_between(self):
+        idx = build_index(list(range(100)))
+        ranges = idx.qualifying_ranges([("x", "between", (35, 44))], 100)
+        assert ranges == [(30, 50)]
+
+    def test_conjunction(self):
+        idx = build_index(list(range(100)))
+        ranges = idx.qualifying_ranges([("x", ">=", 20), ("x", "<", 40)], 100)
+        assert ranges == [(20, 40)]
+
+    def test_adjacent_ranges_merged(self):
+        idx = build_index(list(range(100)))
+        ranges = idx.qualifying_ranges([("x", "<", 35)], 100)
+        assert len(ranges) == 1
+
+    def test_unknown_operator_never_skips(self):
+        idx = build_index(list(range(100)))
+        assert idx.qualifying_ranges([("x", "like", "a%")], 100) == [(0, 100)]
+
+    def test_empty_table(self):
+        idx = MinMaxIndex()
+        assert idx.qualifying_ranges([("x", "<", 5)], 0) == []
+
+
+class TestWidening:
+    def test_insert_widens_anchor_range(self):
+        idx = build_index(list(range(100)))
+        # without widening, value 999 in block 2 would be skipped
+        idx.widen("x", 25, 999)
+        ranges = idx.qualifying_ranges([("x", ">", 500)], 100)
+        assert any(s <= 25 < e for s, e in ranges)
+
+    def test_tail_insert_widens_last_range(self):
+        idx = build_index(list(range(100)))
+        idx.widen("x", 100, -50)  # append anchored past the end
+        ranges = idx.qualifying_ranges([("x", "<", 0)], 100)
+        assert ranges and ranges[-1][1] == 100
+
+    def test_widen_noop_within_bounds(self):
+        idx = build_index(list(range(100)))
+        before = idx.to_record()
+        idx.widen("x", 5, 5)  # already inside [0, 9]
+        assert idx.to_record() == before
+
+    def test_widen_without_stats_is_noop(self):
+        idx = MinMaxIndex()
+        idx.widen("x", 0, 1)  # must not crash
+        assert idx.ranges == {}
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        idx = build_index([3, 1, 4, 1, 5, 9, 2, 6], block=4)
+        clone = MinMaxIndex.from_record(idx.to_record())
+        assert clone.to_record() == idx.to_record()
+
+
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=200),
+       st.integers(-1000, 1000),
+       st.sampled_from(["<", "<=", ">", ">=", "="]))
+@settings(max_examples=80, deadline=None)
+def test_skipping_is_sound(values, literal, op):
+    """No qualifying row may ever live in a skipped range."""
+    import operator as _op
+    ops = {"<": _op.lt, "<=": _op.le, ">": _op.gt, ">=": _op.ge,
+           "=": _op.eq}
+    idx = build_index(values, block=7)
+    ranges = idx.qualifying_ranges([("x", op, literal)], len(values))
+    covered = set()
+    for s, e in ranges:
+        covered.update(range(s, e))
+    for i, v in enumerate(values):
+        if ops[op](v, literal):
+            assert i in covered

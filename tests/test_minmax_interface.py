@@ -1,0 +1,83 @@
+"""Tests for the MinMax MPI interface and dbAgent's automatic footprint."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import Config
+from repro.common.types import DATE, INT64
+from repro.cluster import VectorHCluster
+from repro.engine.expressions import Col
+from repro.mpp.logical import LScan, LSelect
+from repro.storage import Column, TableSchema
+
+
+@pytest.fixture()
+def cluster():
+    c = VectorHCluster(n_nodes=3, config=Config().scaled_for_tests())
+    c.create_table(TableSchema(
+        "events", [Column("k", INT64), Column("d", DATE)],
+        clustered_on=("d",), partition_key=("k",), n_partitions=6))
+    rng = np.random.default_rng(0)
+    n = 60_000  # ~10k rows/partition: several date blocks each
+    c.bulk_load("events", {
+        "k": np.arange(n),
+        "d": rng.integers(8000, 9000, n).astype(np.int32),
+    })
+    return c
+
+
+class TestMinMaxInterface:
+    def plan(self):
+        return LSelect(
+            LScan("events", ["k", "d"], [("d", "<", 8100)]),
+            Col("d") < 8100)
+
+    def test_all_partitions_answered(self, cluster):
+        answers = cluster.resolve_minmax(self.plan())
+        assert len(answers) == 6
+        for key, ranges in answers.items():
+            store = cluster.tables["events"].partitions[
+                int(key.split("/")[1])]
+            covered = sum(e - s for s, e in ranges)
+            assert covered < store.n_stable  # skipping happened
+
+    def test_single_interaction_per_remote_node(self, cluster):
+        cluster.mpi.reset()
+        cluster.resolve_minmax(self.plan())
+        remote_nodes = {
+            cluster.responsible("events", pid) for pid in range(6)
+        } - {cluster.session_master}
+        # exactly one request + one response per remote responsible node
+        assert cluster.mpi.total_messages == 2 * len(remote_nodes)
+
+    def test_no_predicates_no_traffic(self, cluster):
+        cluster.mpi.reset()
+        answers = cluster.resolve_minmax(LScan("events", ["k"]))
+        assert answers == {}
+        assert cluster.mpi.total_messages == 0
+
+    def test_ranges_match_local_minmax(self, cluster):
+        answers = cluster.resolve_minmax(self.plan())
+        stored = cluster.tables["events"]
+        for pid in range(6):
+            store = stored.partitions[pid]
+            local = store.minmax.qualifying_ranges(
+                [("d", "<", 8100)], store.n_stable)
+            assert answers[f"events/{pid}"] == local
+
+
+class TestAutomaticFootprint:
+    def test_footprint_follows_load(self, cluster):
+        agent = cluster.dbagent
+        assert agent.auto_footprint(active_queries=0) == 1
+        assert agent.auto_footprint(active_queries=6) == 3
+        assert agent.auto_footprint(active_queries=100,
+                                    max_slices=4) == 4
+        assert agent.auto_footprint(active_queries=1) == 1
+
+    def test_footprint_shrinks_back(self, cluster):
+        agent = cluster.dbagent
+        agent.auto_footprint(active_queries=8)
+        grown = len(agent.slices)
+        agent.auto_footprint(active_queries=0)
+        assert len(agent.slices) < grown

@@ -1,0 +1,111 @@
+"""Tests for UNION ALL, ROLLUP and GROUPING SETS."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import Config
+from repro.common.types import INT64, STRING
+from repro.cluster import VectorHCluster
+from repro.engine.expressions import Col
+from repro.mpp.logical import (
+    LAggr, LScan, LUnionAll, grouping_sets, rollup,
+)
+from repro.storage import Column, TableSchema
+
+
+@pytest.fixture()
+def cluster():
+    c = VectorHCluster(n_nodes=3, config=Config().scaled_for_tests())
+    c.create_table(TableSchema(
+        "sales", [Column("region", STRING), Column("product", STRING),
+                  Column("sale_id", INT64), Column("amount", INT64)],
+        partition_key=("sale_id",), n_partitions=6))
+    rng = np.random.default_rng(1)
+    n = 3000
+    c.bulk_load("sales", {
+        "region": rng.choice(["north", "south"], n).astype(object),
+        "product": rng.choice(["ore", "gas", "tea"], n).astype(object),
+        "sale_id": np.arange(n),
+        "amount": rng.integers(1, 10, n),
+    })
+    return c
+
+
+def scan():
+    return LScan("sales", ["region", "product", "amount"])
+
+
+class TestUnionAll:
+    def test_union_concatenates(self, cluster):
+        plan = LUnionAll([
+            LAggr(scan(), [], [("n", "count", None)]),
+            LAggr(scan(), [], [("n", "count", None)]),
+        ])
+        out = cluster.query(plan).batch
+        assert out.n == 2
+        assert list(out.columns["n"]) == [3000, 3000]
+
+
+class TestRollup:
+    def test_levels_and_totals(self, cluster):
+        plan = rollup(scan, ["region", "product"],
+                      [("total", "sum", Col("amount"))],
+                      placeholders={"region": "ALL", "product": "ALL"})
+        out = cluster.query(plan).batch
+        # 2x3 detail rows + 2 region subtotals + 1 grand total
+        assert out.n == 6 + 2 + 1
+        rows = {(r, p): t for r, p, t in zip(
+            out.columns["region"], out.columns["product"],
+            out.columns["total"])}
+        grand = rows[("ALL", "ALL")]
+        north = rows[("north", "ALL")]
+        south = rows[("south", "ALL")]
+        assert grand == north + south
+        detail_north = sum(t for (r, p), t in rows.items()
+                           if r == "north" and p != "ALL")
+        assert north == detail_north
+
+    def test_grouping_level_column(self, cluster):
+        plan = rollup(scan, ["region"],
+                      [("n", "count", None)],
+                      placeholders={"region": "ALL"})
+        out = cluster.query(plan).batch
+        levels = set(out.columns["__grouping_level"].tolist())
+        assert levels == {0, 1}
+
+    def test_matches_row_engine(self, cluster, tpch_data):
+        from repro.baselines import CompetitorSystem
+        parts = cluster.tables["sales"].partitions
+        raw = {"sales": {
+            c: np.concatenate([p.read_column(c) for p in parts])
+            for c in ("region", "product", "sale_id", "amount")
+        }}
+        hive = CompetitorSystem("hive", workers=3, rows_per_group=512)
+        hive.load(raw)
+        plan = rollup(scan, ["region", "product"],
+                      [("total", "sum", Col("amount"))],
+                      placeholders={"region": "ALL", "product": "ALL"})
+        a = cluster.query(plan).batch
+        b = hive.run(plan)
+        rows_a = sorted(zip(a.columns["region"], a.columns["product"],
+                            a.columns["total"]))
+        rows_b = sorted(zip(b.columns["region"], b.columns["product"],
+                            b.columns["total"]))
+        assert rows_a == rows_b
+
+
+class TestGroupingSets:
+    def test_selected_sets_only(self, cluster):
+        plan = grouping_sets(
+            scan,
+            sets=[["region"], ["product"]],
+            all_keys=["region", "product"],
+            aggregates=[("n", "count", None)],
+            placeholders={"region": "ALL", "product": "ALL"},
+        )
+        out = cluster.query(plan).batch
+        assert out.n == 2 + 3  # two regions + three products
+        pairs = set(zip(out.columns["region"], out.columns["product"]))
+        assert ("north", "ALL") in pairs
+        assert ("ALL", "tea") in pairs
+        assert not any(r != "ALL" and p != "ALL" for r, p in pairs)

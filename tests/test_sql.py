@@ -1,0 +1,218 @@
+"""Tests for the SQL front-end: lexer, parser, binder, end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import Config
+from repro.common.errors import SqlError
+from repro.common.types import DATE, DECIMAL, INT64, STRING
+from repro.cluster import VectorHCluster
+from repro.sql import SqlLexer, SqlParser, execute_sql
+from repro.sql import parser as ast
+from repro.storage import Column, TableSchema
+
+
+@pytest.fixture()
+def db():
+    c = VectorHCluster(n_nodes=3, config=Config().scaled_for_tests())
+    c.create_table(TableSchema(
+        "emp", [Column("id", INT64), Column("name", STRING),
+                Column("dept", INT64), Column("salary", DECIMAL),
+                Column("hired", DATE)],
+        primary_key=("id",), partition_key=("id",), n_partitions=4))
+    c.create_table(TableSchema(
+        "dept", [Column("dept_id", INT64), Column("dept_name", STRING)]))
+    rng = np.random.default_rng(0)
+    n = 500
+    c.bulk_load("emp", {
+        "id": np.arange(n),
+        "name": np.array([f"emp{i}" for i in range(n)], object),
+        "dept": rng.integers(0, 5, n),
+        "salary": np.round(rng.uniform(30_000, 90_000, n), 2),
+        "hired": rng.integers(9000, 12000, n).astype(np.int32),
+    })
+    c.bulk_load("dept", {
+        "dept_id": np.arange(5),
+        "dept_name": np.array([f"D{i}" for i in range(5)], object),
+    })
+    return c
+
+
+class TestLexer:
+    def test_keywords_and_names(self):
+        tokens = SqlLexer("SELECT Name FROM emp").tokens()
+        assert [t.kind for t in tokens] == ["keyword", "name", "keyword",
+                                            "name", "eof"]
+        assert tokens[0].value == "select"
+        assert tokens[1].value == "Name"
+
+    def test_strings_and_numbers(self):
+        tokens = SqlLexer("'a b' 3.5 42").tokens()
+        assert tokens[0] == ("string", "a b") or tokens[0].value == "a b"
+        assert tokens[1].value == "3.5"
+        assert tokens[2].value == "42"
+
+    def test_operators(self):
+        tokens = SqlLexer("a <> b <= c >= d != e").tokens()
+        ops = [t.value for t in tokens if t.kind == "op"]
+        assert ops == ["<>", "<=", ">=", "!="]
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            SqlLexer("select ~").tokens()
+
+
+class TestParser:
+    def test_select_shape(self):
+        stmt = SqlParser(
+            "SELECT dept, count(*) AS n FROM emp WHERE salary > 50000 "
+            "GROUP BY dept HAVING n > 2 ORDER BY n DESC LIMIT 3"
+        ).parse()
+        assert isinstance(stmt, ast.SelectStatement)
+        assert stmt.group_by == ["dept"]
+        assert stmt.order_by == [("n", False)]
+        assert stmt.limit == 3
+        assert stmt.having is not None
+
+    def test_join_parsing(self):
+        stmt = SqlParser(
+            "SELECT name FROM emp JOIN dept ON dept = dept_id"
+        ).parse()
+        assert stmt.joins[0].table == "dept"
+
+    def test_between_in_like(self):
+        stmt = SqlParser(
+            "SELECT id FROM emp WHERE salary BETWEEN 1 AND 2 "
+            "AND dept IN (1, 2) AND name NOT LIKE 'x%'"
+        ).parse()
+        assert stmt.where is not None
+
+    def test_date_literal(self):
+        stmt = SqlParser(
+            "SELECT id FROM emp WHERE hired < DATE '1995-01-01'"
+        ).parse()
+        assert isinstance(stmt.where.right, ast.Literal)
+
+    def test_insert(self):
+        stmt = SqlParser(
+            "INSERT INTO emp (id, name) VALUES (1, 'x'), (2, 'y')"
+        ).parse()
+        assert stmt.columns == ["id", "name"]
+        assert len(stmt.rows) == 2
+
+    def test_update_delete(self):
+        upd = SqlParser("UPDATE emp SET salary = salary * 1.1 "
+                        "WHERE dept = 2").parse()
+        assert upd.assignments[0][0] == "salary"
+        dele = SqlParser("DELETE FROM emp WHERE id < 5").parse()
+        assert dele.table == "emp"
+
+    def test_syntax_error(self):
+        with pytest.raises(SqlError):
+            SqlParser("SELECT FROM emp").parse()
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            SqlParser("SELECT id FROM emp banana extra").parse()
+
+
+class TestExecution:
+    def test_simple_select(self, db):
+        out = execute_sql(db, "SELECT id, name FROM emp WHERE id < 3 "
+                              "ORDER BY id")
+        assert list(out.columns["id"]) == [0, 1, 2]
+        assert out.columns["name"][0] == "emp0"
+
+    def test_expression_projection(self, db):
+        out = execute_sql(db, "SELECT salary * 2 AS double_pay FROM emp "
+                              "WHERE id = 10")
+        assert out.n == 1
+
+    def test_group_by_aggregates(self, db):
+        out = execute_sql(db, "SELECT dept, count(*) AS n, avg(salary) "
+                              "AS pay FROM emp GROUP BY dept ORDER BY dept")
+        assert out.n == 5
+        assert int(sum(out.columns["n"])) == 500
+
+    def test_having(self, db):
+        out = execute_sql(db, "SELECT dept, count(*) AS n FROM emp "
+                              "GROUP BY dept HAVING n > 200")
+        assert (out.columns["n"] > 200).all() if out.n else True
+
+    def test_join(self, db):
+        out = execute_sql(db, "SELECT dept_name, count(*) AS n FROM emp "
+                              "JOIN dept ON dept = dept_id "
+                              "GROUP BY dept_name ORDER BY dept_name")
+        assert out.n == 5
+        assert out.columns["dept_name"][0] == "D0"
+
+    def test_top_n(self, db):
+        out = execute_sql(db, "SELECT id, salary FROM emp "
+                              "ORDER BY salary DESC LIMIT 5")
+        assert out.n == 5
+        assert (np.diff(out.columns["salary"]) <= 0).all()
+
+    def test_case_expression(self, db):
+        out = execute_sql(db, "SELECT sum(CASE WHEN dept = 0 THEN 1 "
+                              "ELSE 0 END) AS zeros FROM emp")
+        direct = execute_sql(db, "SELECT count(*) AS n FROM emp "
+                                 "WHERE dept = 0")
+        assert out.columns["zeros"][0] == direct.columns["n"][0]
+
+    def test_insert_and_select(self, db):
+        n = execute_sql(db, "INSERT INTO emp VALUES "
+                            "(9001, 'new', 1, 55000.0, DATE '2001-02-03')")
+        assert n == 1
+        out = execute_sql(db, "SELECT name FROM emp WHERE id = 9001")
+        assert out.columns["name"][0] == "new"
+
+    def test_delete(self, db):
+        deleted = execute_sql(db, "DELETE FROM emp WHERE id < 10")
+        assert deleted == 10
+        out = execute_sql(db, "SELECT count(*) AS n FROM emp")
+        assert out.columns["n"][0] == 490
+
+    def test_update(self, db):
+        hit = execute_sql(db, "UPDATE emp SET salary = 0 WHERE dept = 3")
+        out = execute_sql(db, "SELECT sum(salary) AS s FROM emp "
+                              "WHERE dept = 3")
+        assert hit > 0
+        assert out.columns["s"][0] == 0
+
+    def test_non_grouped_column_rejected(self, db):
+        with pytest.raises(SqlError):
+            execute_sql(db, "SELECT name, count(*) FROM emp GROUP BY dept")
+
+    def test_delete_without_where_rejected(self, db):
+        with pytest.raises(SqlError):
+            execute_sql(db, "DELETE FROM emp")
+
+    def test_extract_year(self, db):
+        out = execute_sql(db, "SELECT extract(year FROM hired) AS y, "
+                              "count(*) AS n FROM emp GROUP BY y "
+                              "ORDER BY y")
+        assert out.n >= 2
+        assert 1994 <= out.columns["y"][0] <= 2003
+
+    def test_substring(self, db):
+        out = execute_sql(db, "SELECT substring(name FROM 1 FOR 3) AS p "
+                              "FROM emp WHERE id = 0")
+        assert out.columns["p"][0] == "emp"
+
+    def test_extract_in_where(self, db):
+        out = execute_sql(db, "SELECT count(*) AS n FROM emp "
+                              "WHERE extract(year FROM hired) = 1995")
+        direct = execute_sql(
+            db, "SELECT count(*) AS n FROM emp WHERE "
+                "hired >= DATE '1995-01-01' AND hired < DATE '1996-01-01'")
+        assert out.columns["n"][0] == direct.columns["n"][0]
+
+    def test_in_transaction(self, db):
+        t = db.begin()
+        execute_sql(db, "INSERT INTO emp VALUES "
+                        "(9002, 'tx', 1, 1.0, DATE '2000-01-01')", trans=t)
+        visible = execute_sql(db, "SELECT count(*) AS n FROM emp")
+        assert visible.columns["n"][0] == 500  # not yet committed
+        t.commit()
+        after = execute_sql(db, "SELECT count(*) AS n FROM emp")
+        assert after.columns["n"][0] == 501

@@ -1,0 +1,299 @@
+"""Tests for the columnar store: blocks, chunks, partials, tables, PDTs."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import Config
+from repro.common.errors import StorageError
+from repro.common.types import DATE, DECIMAL, INT64, STRING
+from repro.hdfs import HdfsCluster, VectorHPlacementPolicy
+from repro.storage import (
+    BufferPool,
+    Column,
+    PartitionStore,
+    StoredTable,
+    TableSchema,
+)
+from repro.storage.colstore import rows_per_block
+
+NODES = ["n1", "n2", "n3"]
+
+
+@pytest.fixture()
+def config():
+    return Config().scaled_for_tests()
+
+
+@pytest.fixture()
+def hdfs(config):
+    return HdfsCluster(NODES, config, VectorHPlacementPolicy())
+
+
+def simple_schema(**kwargs):
+    return TableSchema(
+        "t",
+        [Column("k", INT64), Column("s", STRING)],
+        **kwargs,
+    )
+
+
+@pytest.fixture()
+def store(hdfs, config):
+    return PartitionStore(hdfs, "/db/t/part-0000", simple_schema(), config,
+                          "t/part-0000")
+
+
+def make_columns(n, offset=0):
+    return {
+        "k": np.arange(offset, offset + n, dtype=np.int64),
+        "s": np.array([f"row{i % 13}" for i in range(n)], dtype=object),
+    }
+
+
+class TestPartitionStore:
+    def test_append_and_read(self, store):
+        store.append(make_columns(5000), writer="n1")
+        assert store.n_stable == 5000
+        out = store.read_column("k")
+        assert np.array_equal(out, np.arange(5000))
+
+    def test_thin_columns_pack_more_rows(self, config):
+        # int64 blocks hold fewer rows than the same byte budget of... a
+        # thin int32 DATE column holds twice as many.
+        assert rows_per_block(DATE, config) == 2 * rows_per_block(
+            INT64, config)
+
+    def test_ragged_append_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.append({"k": np.arange(3),
+                          "s": np.array(["a"], object)})
+
+    def test_missing_column_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.append({"k": np.arange(3)})
+
+    def test_range_read_touches_fewer_bytes(self, store, hdfs):
+        store.append(make_columns(20000), writer="n1")
+        hdfs.reset_counters()
+        store.read_column("k", ranges=[(0, 100)], reader="n1")
+        partial = hdfs.total_bytes_read()
+        hdfs.reset_counters()
+        store.read_column("k", reader="n1")
+        assert partial < hdfs.total_bytes_read() / 2
+
+    def test_partial_block_merged_on_next_append(self, store, hdfs):
+        store.append(make_columns(100), writer="n1")  # partial blocks
+        partial_files = [p for p in store.file_paths() if "partial" in p]
+        assert partial_files
+        store.append(make_columns(100, offset=100), writer="n1")
+        assert not any(hdfs.exists(p) for p in partial_files)
+        out = store.read_column("k")
+        assert np.array_equal(out, np.arange(200))
+
+    def test_chunk_rollover(self, store, config):
+        # enough rows to exceed blocks_per_chunk blocks
+        per_block = rows_per_block(INT64, config)
+        rows = per_block * (config.blocks_per_chunk + 2)
+        store.append(make_columns(rows), writer="n1")
+        chunks = [p for p in store.file_paths() if "chunk" in p]
+        assert len(chunks) >= 2
+
+    def test_rewrite_replaces_content_and_files(self, store, hdfs):
+        store.append(make_columns(5000), writer="n1")
+        old_files = set(store.file_paths())
+        store.rewrite(make_columns(10), writer="n1")
+        assert store.n_stable == 10
+        assert not (old_files & set(store.file_paths()))
+
+    def test_minmax_built_per_block(self, store):
+        store.append(make_columns(20000), writer="n1")
+        ranges = store.minmax.qualifying_ranges([("k", "<", 100)], 20000)
+        assert ranges and ranges[0][0] == 0
+        assert ranges[-1][1] < 20000
+
+    def test_bytes_per_column(self, store):
+        store.append(make_columns(5000), writer="n1")
+        sizes = store.bytes_per_column()
+        assert sizes["k"] > 0 and sizes["s"] > 0
+
+
+class TestStoredTable:
+    def make_table(self, hdfs, config, **schema_kwargs):
+        schema = TableSchema(
+            "orders",
+            [Column("k", INT64), Column("d", DATE), Column("price", DECIMAL),
+             Column("s", STRING)],
+            **schema_kwargs,
+        )
+        return StoredTable(hdfs, "/db", schema, config)
+
+    def columns(self, n, rng=None):
+        rng = rng or np.random.default_rng(0)
+        return {
+            "k": np.arange(n, dtype=np.int64),
+            "d": rng.integers(8000, 9000, n).astype(np.int32),
+            "price": np.round(rng.uniform(1, 100, n), 2),
+            "s": np.array([f"s{i % 7}" for i in range(n)], dtype=object),
+        }
+
+    def test_partitioned_load_and_scan(self, hdfs, config):
+        t = self.make_table(hdfs, config, partition_key=("k",),
+                            n_partitions=4)
+        t.bulk_load(self.columns(1000))
+        total = sum(
+            t.scan_merged(p, ["k"]).n_rows for p in range(4)
+        )
+        assert total == 1000
+
+    def test_decimal_roundtrip_as_float(self, hdfs, config):
+        t = self.make_table(hdfs, config)
+        cols = self.columns(100)
+        t.bulk_load(cols)
+        out = t.scan_merged(0, ["price"]).columns["price"]
+        assert out.dtype == np.float64
+        assert np.allclose(np.sort(out), np.sort(cols["price"]))
+
+    def test_decimal_skip_predicate_converts_literal(self, hdfs, config):
+        t = self.make_table(hdfs, config)
+        t.bulk_load(self.columns(5000))
+        res = t.scan_partition(0, ["price"],
+                               predicates=[("price", "<", 2.0)])
+        assert (res.columns["price"] >= 0).all()
+        # the merged result must still contain every qualifying row
+        full = t.scan_merged(0, ["price"]).columns["price"]
+        assert (res.columns["price"] < 2.0).sum() == (full < 2.0).sum()
+
+    def test_clustered_load_sorts(self, hdfs, config):
+        t = self.make_table(hdfs, config, clustered_on=("d",))
+        t.bulk_load(self.columns(2000))
+        out = t.scan_merged(0, ["d"]).columns["d"]
+        assert (np.diff(out) >= 0).all()
+
+    def test_clustered_direct_append_rejected(self, hdfs, config):
+        t = self.make_table(hdfs, config, clustered_on=("d",))
+        with pytest.raises(StorageError):
+            t.append_partition(0, self.columns(10))
+
+    def test_bulk_load_into_clustered_nonempty_rejected(self, hdfs, config):
+        t = self.make_table(hdfs, config, clustered_on=("d",))
+        t.bulk_load(self.columns(100))
+        with pytest.raises(StorageError):
+            t.bulk_load(self.columns(100))
+
+    def test_trickle_insert_visible_and_sorted(self, hdfs, config):
+        t = self.make_table(hdfs, config, clustered_on=("d",))
+        t.bulk_load(self.columns(1000))
+        trans = t.pdt[0].begin()
+        t.insert_rows(0, {"k": np.array([10**6]),
+                          "d": np.array([8500], np.int32),
+                          "price": np.array([9.99]),
+                          "s": np.array(["new"], object)}, trans)
+        t.pdt[0].commit(trans)
+        res = t.scan_merged(0, ["k", "d"])
+        assert 10**6 in res.columns["k"]
+        assert (np.diff(res.columns["d"]) >= 0).all()
+
+    def test_delete_and_modify(self, hdfs, config):
+        t = self.make_table(hdfs, config)
+        t.bulk_load(self.columns(100))
+        trans = t.pdt[0].begin()
+        res = t.scan_merged(0, ["k"], trans=trans)
+        t.delete_rows(0, res.identities[:10], trans)
+        t.modify_rows(0, res.identities[10:11],
+                      {"price": np.array([123.0])}, trans)
+        t.pdt[0].commit(trans)
+        after = t.scan_merged(0, ["k", "price"])
+        assert after.n_rows == 90
+        assert np.isclose(after.columns["price"][0], 123.0)
+
+    def test_scan_with_predicate_sees_pdt_inserts(self, hdfs, config):
+        t = self.make_table(hdfs, config, clustered_on=("d",))
+        t.bulk_load(self.columns(5000))
+        trans = t.pdt[0].begin()
+        t.insert_rows(0, {"k": np.array([777777]),
+                          "d": np.array([8100], np.int32),
+                          "price": np.array([1.0]),
+                          "s": np.array(["x"], object)}, trans)
+        t.pdt[0].commit(trans)
+        res = t.scan_partition(0, ["k", "d"], predicates=[("d", "=", 8100)])
+        assert 777777 in res.columns["k"]
+
+    def test_propagation_tail_vs_full(self, hdfs, config):
+        t = self.make_table(hdfs, config)  # unordered
+        t.bulk_load(self.columns(500))
+        trans = t.pdt[0].begin()
+        t.insert_rows(0, {"k": np.array([10**7]),
+                          "d": np.array([8100], np.int32),
+                          "price": np.array([5.0]),
+                          "s": np.array(["t"], object)}, trans)
+        t.pdt[0].commit(trans)
+        assert t.propagate(0) == "tail"
+        trans = t.pdt[0].begin()
+        res = t.scan_merged(0, ["k"], trans=trans)
+        t.delete_rows(0, res.identities[:1], trans)
+        t.pdt[0].commit(trans)
+        assert t.propagate(0) == "full"
+        assert t.propagate(0) == "none"
+        assert t.scan_merged(0, ["k"]).n_rows == 500
+
+    def test_propagation_preserves_image(self, hdfs, config):
+        t = self.make_table(hdfs, config, clustered_on=("d",))
+        t.bulk_load(self.columns(1000))
+        trans = t.pdt[0].begin()
+        res = t.scan_merged(0, ["k"], trans=trans)
+        t.delete_rows(0, res.identities[5:25], trans)
+        t.insert_rows(0, {"k": np.array([10**6]),
+                          "d": np.array([8500], np.int32),
+                          "price": np.array([1.5]),
+                          "s": np.array(["n"], object)}, trans)
+        t.pdt[0].commit(trans)
+        before = t.scan_merged(0, ["k", "d", "price", "s"])
+        t.propagate(0)
+        after = t.scan_merged(0, ["k", "d", "price", "s"])
+        assert sorted(before.columns["k"]) == sorted(after.columns["k"])
+        assert t.pdt[0].total_entries() == 0
+
+    def test_needs_propagation_thresholds(self, hdfs, config):
+        t = self.make_table(hdfs, config)
+        t.bulk_load(self.columns(100))
+        assert not t.needs_propagation(0)
+        trans = t.pdt[0].begin()
+        for i in range(30):  # > 10% of 100 stable rows
+            t.insert_rows(0, {"k": np.array([10**6 + i]),
+                              "d": np.array([8100], np.int32),
+                              "price": np.array([1.0]),
+                              "s": np.array(["x"], object)}, trans)
+        t.pdt[0].commit(trans)
+        assert t.needs_propagation(0)
+
+
+class TestBufferPool:
+    def test_hits_and_misses(self, hdfs):
+        hdfs.write_file("/f", b"0123456789", "n1")
+        pool = BufferPool(hdfs, capacity_bytes=1024)
+        assert pool.read("/f", 0, 4, "n1") == b"0123"
+        assert pool.read("/f", 0, 4, "n1") == b"0123"
+        assert pool.hits == 1 and pool.misses == 1
+
+    def test_eviction(self, hdfs):
+        hdfs.write_file("/f", b"x" * 100, "n1")
+        pool = BufferPool(hdfs, capacity_bytes=30)
+        pool.read("/f", 0, 20, "n1")
+        pool.read("/f", 20, 20, "n1")  # evicts the first range
+        pool.read("/f", 0, 20, "n1")
+        assert pool.misses == 3
+
+    def test_prefetch_warms_cache(self, hdfs):
+        hdfs.write_file("/f", b"abcdef", "n1")
+        pool = BufferPool(hdfs)
+        pool.prefetch("/f", 0, 6, "n1")
+        pool.read("/f", 0, 6, "n1")
+        assert pool.hits == 1 and pool.misses == 0
+
+    def test_invalidate_prefix(self, hdfs):
+        hdfs.write_file("/db/t/f", b"abc", "n1")
+        pool = BufferPool(hdfs)
+        pool.read("/db/t/f", 0, 3, "n1")
+        pool.invalidate("/db/t/")
+        pool.read("/db/t/f", 0, 3, "n1")
+        assert pool.misses == 2

@@ -1,0 +1,112 @@
+"""TPC-H tests: dbgen shape, all 22 queries VectorH vs row-engine oracle,
+and the RF1/RF2 refresh functions."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import assert_batches_match
+
+from repro.baselines import CompetitorSystem
+from repro.tpch import QUERIES, generate_tpch, refresh_rf1, refresh_rf2
+from repro.tpch.dbgen import CURRENT_DATE, table_sizes
+from repro.mpp.logical import LAggr, LScan
+
+
+class TestDbgen:
+    def test_deterministic(self):
+        a = generate_tpch(0.001, seed=1)
+        b = generate_tpch(0.001, seed=1)
+        assert np.array_equal(a["lineitem"]["l_extendedprice"],
+                              b["lineitem"]["l_extendedprice"])
+
+    def test_sizes_scale(self):
+        small = table_sizes(generate_tpch(0.001))
+        large = table_sizes(generate_tpch(0.004))
+        assert large["orders"] >= 3 * small["orders"]
+        assert small["region"] == 5 and small["nation"] == 25
+
+    def test_partsupp_four_suppliers_per_part(self):
+        data = generate_tpch(0.002)
+        ps = data["partsupp"]
+        parts, counts = np.unique(ps["ps_partkey"], return_counts=True)
+        assert (counts == 4).all()
+        # each part's four suppliers are distinct
+        for p in parts[:20]:
+            supps = ps["ps_suppkey"][ps["ps_partkey"] == p]
+            assert len(set(supps.tolist())) == 4
+
+    def test_date_correlations(self):
+        data = generate_tpch(0.002)
+        li = data["lineitem"]
+        o_date_of = dict(zip(data["orders"]["o_orderkey"].tolist(),
+                             data["orders"]["o_orderdate"].tolist()))
+        odates = np.array([o_date_of[k] for k in li["l_orderkey"][:500]])
+        assert (li["l_shipdate"][:500] > odates).all()
+        assert (li["l_receiptdate"] > li["l_shipdate"]).all()
+
+    def test_returnflag_correlated_with_receipt(self):
+        li = generate_tpch(0.002)["lineitem"]
+        flags = li["l_returnflag"]
+        late = li["l_receiptdate"] > CURRENT_DATE
+        assert set(flags[late]) == {"N"}
+        assert set(flags[~late]) <= {"R", "A"}
+
+    def test_third_of_customers_without_orders(self):
+        data = generate_tpch(0.002)
+        custs = set(data["orders"]["o_custkey"].tolist())
+        n_cust = len(data["customer"]["c_custkey"])
+        no_orders = n_cust - len(custs)
+        assert no_orders >= n_cust // 4  # every custkey % 3 == 0 excluded
+
+    def test_totalprice_matches_lineitems(self):
+        data = generate_tpch(0.001)
+        li, orders = data["lineitem"], data["orders"]
+        key = orders["o_orderkey"][10]
+        mask = li["l_orderkey"] == key
+        expect = (li["l_extendedprice"][mask]
+                  * (1 + li["l_tax"][mask])
+                  * (1 - li["l_discount"][mask])).sum()
+        assert abs(orders["o_totalprice"][10] - expect) < 0.5
+
+
+@pytest.fixture(scope="module")
+def oracle(tpch_data):
+    """Row-engine on ORC-like storage answering the same plans."""
+    system = CompetitorSystem("hive", workers=4, rows_per_group=1024)
+    system.load(tpch_data)
+    return system
+
+
+@pytest.mark.parametrize("number", sorted(QUERIES))
+def test_query_matches_row_engine_oracle(number, tpch_cluster, oracle):
+    """Every TPC-H query: vectorized MPP result == tuple-at-a-time result."""
+    vh = QUERIES[number](lambda plan: tpch_cluster.query(plan).batch)
+    base = QUERIES[number](oracle.runner)
+    assert_batches_match(vh, base)
+
+
+class TestRefresh:
+    def test_rf1_inserts_visible(self, tpch_data):
+        from repro.cluster import VectorHCluster
+        from repro.common.config import Config
+        from repro.tpch import tpch_schemas
+        from repro.tpch.schema import LOAD_ORDER
+        c = VectorHCluster(n_nodes=3, config=Config().scaled_for_tests())
+        schemas = tpch_schemas(n_partitions=4)
+        for name in LOAD_ORDER:
+            c.create_table(schemas[name])
+            c.bulk_load(name, tpch_data[name])
+        before = int(c.query(LAggr(LScan("orders", ["o_orderkey"]), [],
+                                   [("n", "count", None)])
+                             ).batch.columns["n"][0])
+        inserted = refresh_rf1(c, fraction=0.01)
+        after = int(c.query(LAggr(LScan("orders", ["o_orderkey"]), [],
+                                  [("n", "count", None)])
+                            ).batch.columns["n"][0])
+        assert after == before + inserted
+
+        deleted = refresh_rf2(c, fraction=0.01)
+        final = int(c.query(LAggr(LScan("orders", ["o_orderkey"]), [],
+                                  [("n", "count", None)])
+                            ).batch.columns["n"][0])
+        assert final == after - deleted

@@ -1,0 +1,214 @@
+"""Tests for distributed transactions: 2PC, WAL, log shipping, constraints."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import Config
+from repro.common.errors import ConstraintViolation, TransactionAborted
+from repro.common.types import INT64, STRING
+from repro.cluster import VectorHCluster
+from repro.engine.expressions import Col
+from repro.mpp.logical import LAggr, LScan
+from repro.storage import Column, TableSchema
+from repro.txn.wal import WalRecord
+
+
+@pytest.fixture()
+def cluster():
+    c = VectorHCluster(n_nodes=3, config=Config().scaled_for_tests())
+    c.create_table(TableSchema(
+        "t", [Column("k", INT64), Column("v", INT64)],
+        primary_key=("k",), partition_key=("k",), n_partitions=4))
+    c.create_table(TableSchema(
+        "small", [Column("sk", INT64), Column("name", STRING)],
+        primary_key=("sk",)))
+    c.bulk_load("t", {"k": np.arange(100), "v": np.zeros(100, np.int64)})
+    c.bulk_load("small", {"sk": np.arange(10),
+                          "name": np.array([f"s{i}" for i in range(10)],
+                                           object)})
+    return c
+
+
+def count_rows(cluster, table, col):
+    res = cluster.query(LAggr(LScan(table, [col]), [],
+                              [("n", "count", None)]))
+    return int(res.batch.columns["n"][0])
+
+
+class TestCommitAbort:
+    def test_commit_makes_changes_visible(self, cluster):
+        t = cluster.begin()
+        cluster.insert("t", {"k": np.array([1000]), "v": np.array([1])},
+                       trans=t)
+        t.commit()
+        assert count_rows(cluster, "t", "k") == 101
+
+    def test_uncommitted_invisible(self, cluster):
+        t = cluster.begin()
+        cluster.insert("t", {"k": np.array([1000]), "v": np.array([1])},
+                       trans=t)
+        assert count_rows(cluster, "t", "k") == 100
+
+    def test_own_changes_visible_inside_txn(self, cluster):
+        t = cluster.begin()
+        cluster.insert("t", {"k": np.array([1000]), "v": np.array([1])},
+                       trans=t)
+        res = cluster.query(LAggr(LScan("t", ["k"]), [],
+                                  [("n", "count", None)]), trans=t)
+        assert res.batch.columns["n"][0] == 101
+
+    def test_abort_discards(self, cluster):
+        t = cluster.begin()
+        cluster.insert("t", {"k": np.array([1000]), "v": np.array([1])},
+                       trans=t)
+        t.abort()
+        assert count_rows(cluster, "t", "k") == 100
+
+    def test_double_commit_rejected(self, cluster):
+        t = cluster.begin()
+        cluster.insert("t", {"k": np.array([1000]), "v": np.array([1])},
+                       trans=t)
+        t.commit()
+        with pytest.raises(TransactionAborted):
+            t.commit()
+
+    def test_read_only_commit_is_noop(self, cluster):
+        t = cluster.begin()
+        t.commit()
+        assert cluster.txn.commits == 0
+
+
+class TestConflicts:
+    def test_write_write_conflict_across_transactions(self, cluster):
+        a, b = cluster.begin(), cluster.begin()
+        cluster.update_where("t", Col("k") == 5, {"v": Col("v") + 1},
+                             trans=a)
+        cluster.update_where("t", Col("k") == 5, {"v": Col("v") + 2},
+                             trans=b)
+        a.commit()
+        with pytest.raises(TransactionAborted):
+            b.commit()
+        assert cluster.txn.aborts == 1
+
+    def test_disjoint_updates_commit(self, cluster):
+        a, b = cluster.begin(), cluster.begin()
+        cluster.update_where("t", Col("k") == 5, {"v": Col("v") + 1},
+                             trans=a)
+        cluster.update_where("t", Col("k") == 6, {"v": Col("v") + 2},
+                             trans=b)
+        a.commit()
+        b.commit()
+
+    def test_unique_key_violation(self, cluster):
+        t = cluster.begin()
+        cluster.insert("t", {"k": np.array([7]), "v": np.array([0])},
+                       trans=t, force_pdt=True)
+        with pytest.raises(ConstraintViolation):
+            t.commit()
+
+
+class TestWal:
+    def test_commit_logged_per_partition(self, cluster):
+        t = cluster.begin()
+        cluster.insert("t", {"k": np.arange(200, 210),
+                             "v": np.zeros(10, np.int64)}, trans=t)
+        t.commit()
+        logged = 0
+        for pid in range(4):
+            records = cluster.wal.replay_partition("t", pid)
+            logged += sum(len(r.payload[1]) for r in records
+                          if r.kind == "commit")
+        assert logged == 10
+
+    def test_global_wal_records_decision(self, cluster):
+        t = cluster.begin()
+        cluster.insert("t", {"k": np.array([999]), "v": np.array([0])},
+                       trans=t)
+        t.commit()
+        decisions = [r for r in cluster.wal.replay_global()
+                     if r.kind == "decision"]
+        assert decisions
+        txn_id, outcome, participants = decisions[-1].payload
+        assert outcome == "commit"
+        assert participants
+
+    def test_wal_record_roundtrip(self):
+        rec = WalRecord("commit", (1, ["x", "y"]))
+        frames = list(WalRecord.stream_from(rec.to_bytes() + rec.to_bytes()))
+        assert len(frames) == 2
+        assert frames[0].payload == (1, ["x", "y"])
+
+    def test_wal_reset_after_propagation(self, cluster):
+        t = cluster.begin()
+        cluster.insert("t", {"k": np.array([500]), "v": np.array([0])},
+                       trans=t)
+        t.commit()
+        cluster.propagate_updates("t", force=True)
+        for pid in range(4):
+            commits = [r for r in cluster.wal.replay_partition("t", pid)
+                       if r.kind == "commit"]
+            assert not commits
+
+    def test_minmax_snapshot_logged_on_propagation(self, cluster):
+        t = cluster.begin()
+        cluster.insert("t", {"k": np.array([500]), "v": np.array([0])},
+                       trans=t)
+        t.commit()
+        cluster.propagate_updates("t", force=True)
+        kinds = set()
+        for pid in range(4):
+            kinds |= {r.kind for r in cluster.wal.replay_partition("t", pid)}
+        assert "minmax" in kinds
+
+
+class TestLogShipping:
+    def test_replicated_table_update_ships_log(self, cluster):
+        before = cluster.txn.log_shipped_bytes
+        t = cluster.begin()
+        cluster.insert("small", {"sk": np.array([100]),
+                                 "name": np.array(["new"], object)},
+                       trans=t, force_pdt=True)
+        t.commit()
+        # shipped to the other (N-1) = 2 workers
+        assert cluster.txn.log_shipped_bytes > before
+
+    def test_partitioned_table_update_does_not_ship(self, cluster):
+        before = cluster.txn.log_shipped_bytes
+        t = cluster.begin()
+        cluster.insert("t", {"k": np.array([600]), "v": np.array([0])},
+                       trans=t)
+        t.commit()
+        assert cluster.txn.log_shipped_bytes == before
+
+    def test_two_pc_messages_counted(self, cluster):
+        mpi0 = cluster.mpi.total_messages
+        t = cluster.begin()
+        cluster.insert("t", {"k": np.array([601]), "v": np.array([0])},
+                       trans=t)
+        t.commit()
+        assert cluster.mpi.total_messages > mpi0
+
+
+class TestDml:
+    def test_delete_where(self, cluster):
+        deleted = cluster.delete_where("t", Col("k") < 10)
+        assert deleted == 10
+        assert count_rows(cluster, "t", "k") == 90
+
+    def test_update_where(self, cluster):
+        hit = cluster.update_where("t", Col("k") < 5, {"v": Col("v") + 7})
+        assert hit == 5
+        res = cluster.query(LAggr(LScan("t", ["v"]), [],
+                                  [("s", "sum", Col("v"))]))
+        assert res.batch.columns["s"][0] == 35
+
+    def test_large_insert_appends_directly(self, cluster):
+        n = 10000  # over DIRECT_APPEND_THRESHOLD
+        cluster.insert("t", {"k": np.arange(10**6, 10**6 + n),
+                             "v": np.zeros(n, np.int64)})
+        assert count_rows(cluster, "t", "k") == 100 + n
+        assert all(s.total_entries() == 0 for s in cluster.tables["t"].pdt)
+
+    def test_small_insert_goes_to_pdt(self, cluster):
+        cluster.insert("t", {"k": np.array([2000]), "v": np.array([0])})
+        assert any(s.total_entries() for s in cluster.tables["t"].pdt)

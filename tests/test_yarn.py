@@ -1,0 +1,120 @@
+"""Tests for the YARN simulator and the out-of-band dbAgent."""
+
+import pytest
+
+from repro.common.config import Config
+from repro.common.errors import YarnError
+from repro.hdfs import HdfsCluster
+from repro.yarn import DbAgent, ResourceManager
+
+NODES = ["n1", "n2", "n3"]
+
+
+@pytest.fixture()
+def rm():
+    manager = ResourceManager({"default": 5, "prod": 9, "batch": 1})
+    for node in NODES:
+        manager.register_node(node, cores=8, memory_mb=16384)
+    return manager
+
+
+@pytest.fixture()
+def agent(rm):
+    hdfs = HdfsCluster(NODES, Config().scaled_for_tests())
+    hdfs.write_file("/db/t/p0", b"x" * 100, writer="n1")
+    return DbAgent(rm, hdfs, NODES, slice_cores=2, slice_memory_mb=1024)
+
+
+class TestResourceManager:
+    def test_allocate_within_capacity(self, rm):
+        app = rm.submit_application("job")
+        c = rm.request_container(app, "n1", 4, 4096)
+        assert c.running
+        assert rm.node_managers["n1"].used_cores == 4
+
+    def test_over_capacity_rejected(self, rm):
+        app = rm.submit_application("job")
+        with pytest.raises(YarnError):
+            rm.request_container(app, "n1", 99, 1024)
+
+    def test_release_frees_resources(self, rm):
+        app = rm.submit_application("job")
+        c = rm.request_container(app, "n1", 4, 4096)
+        rm.release_container(c)
+        assert rm.node_managers["n1"].used_cores == 0
+
+    def test_kill_application_frees_all(self, rm):
+        app = rm.submit_application("job")
+        rm.request_container(app, "n1", 2, 1024)
+        rm.request_container(app, "n2", 2, 1024)
+        rm.kill_application(app.app_id)
+        assert all(nm.used_cores == 0 for nm in rm.node_managers.values())
+
+    def test_unknown_queue_rejected(self, rm):
+        with pytest.raises(YarnError):
+            rm.submit_application("job", "nonexistent")
+
+    def test_node_reports(self, rm):
+        app = rm.submit_application("job")
+        rm.request_container(app, "n1", 3, 2048)
+        report = {r.node: r for r in rm.cluster_node_reports()}["n1"]
+        assert report.free_cores == 5
+        assert report.free_memory_mb == 16384 - 2048
+
+
+class TestPreemption:
+    def test_high_priority_preempts_low(self, rm):
+        preempted = []
+        low = rm.submit_application("low", "batch",
+                                    on_preempt=preempted.append)
+        rm.request_container(low, "n1", 8, 8192)
+        high = rm.submit_application("high", "prod")
+        c = rm.request_container(high, "n1", 8, 8192)
+        assert c.running
+        assert len(preempted) == 1
+
+    def test_equal_priority_not_preempted(self, rm):
+        a = rm.submit_application("a", "default")
+        rm.request_container(a, "n1", 8, 8192)
+        b = rm.submit_application("b", "default")
+        with pytest.raises(YarnError):
+            rm.request_container(b, "n1", 8, 8192)
+
+
+class TestDbAgent:
+    def test_worker_set_prefers_locality(self, agent):
+        workers = agent.negotiate_worker_set(2, "/db/")
+        holders = agent.hdfs.replica_locations("/db/t/p0")
+        assert set(workers) <= set(NODES)
+        assert workers[0] in holders
+
+    def test_grow_and_shrink_footprint(self, agent):
+        agent.negotiate_worker_set(3, "/db/")
+        assert agent.grow_footprint(2) == 2
+        fp = agent.current_footprint()
+        assert all(v == 4 for v in fp.values())  # 2 slices x 2 cores
+        agent.shrink_footprint(1)
+        assert all(v == 2 for v in agent.current_footprint().values())
+
+    def test_negotiate_to_target(self, agent):
+        agent.negotiate_worker_set(3, "/db/")
+        agent.negotiate_to_target(3)
+        assert len(agent.slices) == 3
+        agent.negotiate_to_target(1)
+        assert len(agent.slices) == 1
+
+    def test_preemption_shrinks_footprint_and_notifies(self, agent, rm):
+        events = []
+        agent.on_footprint_change = events.append
+        agent.negotiate_worker_set(3, "/db/")
+        agent.grow_footprint(1)
+        big = rm.submit_application("spark", "prod")
+        rm.request_container(big, agent.worker_set[0], 8, 16384)
+        assert events
+        assert events[-1][agent.worker_set[0]] == 0
+
+    def test_footprint_grow_stops_when_full(self, agent, rm):
+        agent.negotiate_worker_set(3, "/db/")
+        # 8 cores/node, 2 per slice -> at most 4 slices fit
+        started = agent.grow_footprint(10)
+        assert started == 4
