@@ -15,6 +15,9 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import write_report
+from repro.engine.expressions import Col
+from repro.mpp.logical import LAggr, LJoin, LScan
+from repro.mpp.rewriter import RewriterFlags
 from repro.net.mpi import MpiFabric, dxchg_buffer_memory
 
 MESSAGE = 256 * 1024
@@ -82,3 +85,86 @@ def test_dxchg_message_rounding_favors_fewer_buffers(benchmark):
         f"thread-to-node:   {t2n.total_messages} messages",
     )
     benchmark(lambda: MpiFabric(MESSAGE).send("a", "b", payload))
+
+
+def test_dxchg_streaming_vs_materializing(vectorh, benchmark):
+    """Streaming DXchg vs stop-and-go materialization on a TPC-H join.
+
+    Both schedules push identical per-link bytes and message counts
+    through the same channels; what changes is *when* -- the streaming
+    schedule overlaps sender fragments and keeps only the open channel
+    buffers plus a round's worth of receive queue resident, while the
+    materializing schedule parks each fragment's full output before the
+    consumer starts.
+    """
+    plan = LAggr(
+        LJoin(build=LScan("orders", ["o_orderkey", "o_custkey"]),
+              probe=LScan("lineitem", ["l_orderkey", "l_extendedprice"]),
+              build_keys=["o_orderkey"], probe_keys=["l_orderkey"],
+              how="inner"),
+        [], [("revenue", "sum", Col("l_extendedprice")),
+             ("n", "count", None)],
+    )
+    # force the reshuffle path (no co-located shortcut, no broadcast)
+    flags = RewriterFlags(local_join=False, replicate_build=False)
+
+    vectorh.mpi.reset()
+    streaming = vectorh.query(plan, flags=flags, exchange_mode="streaming")
+    s_links = (dict(vectorh.mpi.bytes_by_link),
+               dict(vectorh.mpi.messages_by_link))
+    vectorh.mpi.reset()
+    materializing = vectorh.query(plan, flags=flags,
+                                  exchange_mode="materialize")
+    m_links = (dict(vectorh.mpi.bytes_by_link),
+               dict(vectorh.mpi.messages_by_link))
+
+    # identical wire accounting, identical answer
+    assert s_links == m_links
+    assert streaming.batch.columns["n"][0] == \
+        materializing.batch.columns["n"][0]
+    # the streaming pipeline never holds the exchanged volume in memory:
+    # sender channel buffers track message size and fanout, not volume,
+    # and receive queues stay about one pump round deep
+    total_exchanged = sum(int(ex["bytes"]) for ex in streaming.exchanges)
+    assert streaming.dxchg_peak_buffered_bytes < total_exchanged
+    assert streaming.dxchg_peak_queued_bytes < \
+        materializing.dxchg_peak_queued_bytes
+    # node memory is comparable: with 256KB messages the channel buffers
+    # hold most of this small shuffle in both schedules, and streaming
+    # genuinely overlaps sender buffers with consumer state (materialize
+    # releases the buffers before consumers start), so allow a sliver of
+    # overlap slack
+    assert streaming.peak_memory_bytes <= \
+        1.05 * materializing.peak_memory_bytes
+
+    lines = ["ABLATION: streaming vs materializing DXchg "
+             "(lineitem x orders reshuffle)",
+             "",
+             f"{'':<28} {'streaming':>14} {'materializing':>14}"]
+    for name, s_val, m_val in [
+        ("network bytes", streaming.network_bytes,
+         materializing.network_bytes),
+        ("network messages", streaming.network_messages,
+         materializing.network_messages),
+        ("peak channel buffer bytes", streaming.dxchg_peak_buffered_bytes,
+         materializing.dxchg_peak_buffered_bytes),
+        ("peak receive queue bytes", streaming.dxchg_peak_queued_bytes,
+         materializing.dxchg_peak_queued_bytes),
+        ("peak node memory bytes", streaming.peak_memory_bytes,
+         materializing.peak_memory_bytes),
+    ]:
+        lines.append(f"{name:<28} {s_val:>14,} {m_val:>14,}")
+    lines.append(f"{'simulated parallel seconds':<28} "
+                 f"{streaming.simulated_parallel_seconds:>14.4f} "
+                 f"{materializing.simulated_parallel_seconds:>14.4f}")
+    lines.append("")
+    lines.append("per-exchange stats (streaming run):")
+    for ex in streaming.exchanges:
+        lines.append(
+            f"  {ex['label']:<28} {int(ex['bytes']):>12,}B "
+            f"{int(ex['messages']):>6} msgs "
+            f"peak buffered {int(ex['peak_buffered_bytes']):>12,}B "
+            f"of {int(ex['buffer_capacity_bytes']):>12,}B capacity, "
+            f"peak queued {int(ex['peak_queued_bytes']):>12,}B")
+    write_report("ablation_dxchg_streaming.txt", "\n".join(lines))
+    benchmark(lambda: vectorh.query(plan, flags=flags).batch)

@@ -31,19 +31,30 @@ def test_appendix_q1_profile(vectorh, benchmark):
             + result.format_profile())
     write_report("appendix_q1_profile.txt", text)
 
-    # the fragment below the exchange dominates, as in the paper
-    fragments = result.profiles
-    assert len(fragments) >= 2
-    parallel = max(fragments, key=lambda p: p.cum_time)
-    serial_top = min(fragments, key=lambda p: p.cum_time)
-    assert parallel.cum_time >= serial_top.cum_time
-    labels = _labels(parallel)
+    # one spanning tree: the master-side operators sit above the
+    # DXchgUnion receiver, the merged worker fragment below its sender
+    assert len(result.profiles) == 1
+    root = result.profiles[0]
+    labels = _labels(root)
+    assert any(".recv" in l for l in labels)
+    assert any(".send" in l for l in labels)
     assert any("Aggr" in l for l in labels)
     assert any("MScan" in l or "Scan" in l for l in labels)
-    # per-stream imbalance is visible but bounded
-    if len(parallel.stream_times) > 1:
-        hi = max(parallel.stream_times)
-        lo = min(t for t in parallel.stream_times if t > 0)
+    # the parallel fragment below the exchange dominates, as in the paper
+    senders = _find_all(root, lambda n: n.label.endswith(".send"))
+    assert senders
+    for sender in senders:
+        assert sender.cum_time <= root.cum_time
+        assert sender.net_bytes > 0 and sender.net_messages > 0
+    # per-stream imbalance is visible but bounded. Only the *innermost*
+    # sender (the leaf scan fragment) has honest per-stream wall times:
+    # an outer sender's first advance pumps the nested exchange to
+    # completion, so all the inner streams' work lands on its first
+    # stream's clock.
+    leaf = senders[-1]
+    if len(leaf.stream_times) > 1:
+        hi = max(leaf.stream_times)
+        lo = min(t for t in leaf.stream_times if t > 0)
         assert hi / lo < 10
 
     benchmark(lambda: q1(lambda plan: vectorh.query(plan).batch))
@@ -54,4 +65,15 @@ def _labels(node, out=None):
     out.append(node.label)
     for child in node.children:
         _labels(child, out)
+    return out
+
+
+def _find_all(node, pred, out=None):
+    """Matching nodes in depth-first preorder, so outer exchange senders
+    come before the senders of exchanges nested beneath them."""
+    out = out if out is not None else []
+    if pred(node):
+        out.append(node)
+    for child in node.children:
+        _find_all(child, pred, out)
     return out

@@ -200,11 +200,19 @@ class VectorHCluster:
 
     def query(self, plan: LogicalPlan,
               flags: Optional[RewriterFlags] = None,
-              trans: Optional[DistributedTransaction] = None) -> QueryResult:
+              trans: Optional[DistributedTransaction] = None,
+              exchange_mode: str = "streaming",
+              thread_to_node: bool = True) -> QueryResult:
         """Optimize and execute a logical plan; returns the result batch
-        plus execution statistics (network, IO, profile)."""
+        plus execution statistics (network, IO, memory, profile).
+
+        ``exchange_mode``/``thread_to_node`` tune the DXchg layer: see
+        :meth:`repro.mpp.executor.MppExecutor.execute`.
+        """
         phys = ParallelRewriter(self, flags).rewrite(plan)
-        return self.executor.execute(phys, trans=trans)
+        return self.executor.execute(phys, trans=trans,
+                                     exchange_mode=exchange_mode,
+                                     thread_to_node=thread_to_node)
 
     def explain(self, plan: LogicalPlan,
                 flags: Optional[RewriterFlags] = None) -> str:

@@ -31,9 +31,37 @@ class Batch:
     def project(self, names: Sequence[str]) -> "Batch":
         return Batch({k: self.columns[k] for k in names}, self.n)
 
+    @classmethod
+    def empty_like(cls, template: "Batch") -> "Batch":
+        """A zero-row batch with the template's column names and dtypes.
+
+        Exchanges and filters over all-empty partitions must still emit
+        the schema, or downstream operators lose column names/dtypes.
+        """
+        return cls({k: v[:0] for k, v in template.columns.items()}, 0)
+
     @property
     def column_names(self) -> List[str]:
         return list(self.columns)
+
+
+def batch_bytes(batch: "Batch") -> int:
+    """Serialized size estimate (PAX-layout MPI buffers).
+
+    Fixed-width columns count their raw nbytes; object (string) columns
+    are estimated from a sample prefix plus a 4-byte length per value.
+    """
+    total = 0
+    for values in batch.columns.values():
+        if values.dtype == object:
+            if len(values) == 0:
+                continue
+            sample = values[: min(64, len(values))]
+            avg = sum(len(str(v)) for v in sample) / len(sample)
+            total += int((avg + 4) * len(values))
+        else:
+            total += values.nbytes
+    return total
 
 
 def batches_from_columns(columns: Dict[str, np.ndarray],
@@ -67,7 +95,7 @@ def concat_batches(batches: Iterable[Batch]) -> Batch:
             full.append(b)
     if not full:
         if template is not None:
-            return Batch({k: v[:0] for k, v in template.columns.items()}, 0)
+            return Batch.empty_like(template)
         return Batch({}, 0)
     names = full[0].column_names
     return Batch(

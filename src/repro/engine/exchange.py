@@ -1,0 +1,379 @@
+"""Streaming DXchg operators (paper section 5).
+
+The materializing executor ran every plan fragment to completion and
+re-sliced the result at each exchange boundary -- stop-and-go execution.
+This module makes exchanges *operators*: a :class:`DXchgSender` splits
+each incoming vector by destination and pushes it into per-link
+:class:`~repro.net.mpi.DXchgChannel` buffers (flushing whole MPI messages
+as buffers fill, so communication overlaps processing), while a
+:class:`DXchgReceiver` on the consuming side yields batches as they
+arrive. One :class:`Exchange` object holds the shared state -- receive
+queues, sender channels, progress -- and a :class:`StreamScheduler`
+advances the sender fragments round-robin, one vector at a time, charging
+simulated time for the slowest stream of each round (the behaviour of a
+cluster whose streams run concurrently).
+
+``mode="materialize"`` keeps the old stop-and-go schedule (each sender
+fragment drained completely before consumers start) over the *same*
+channel machinery, which is what the streaming-vs-materializing ablation
+benchmark compares: identical per-link bytes and message counts, very
+different peak buffered memory and overlap.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.engine.batch import Batch, batch_bytes
+from repro.engine.operators import Operator
+from repro.net.mpi import DXchgChannel, MpiFabric
+
+STREAMING = "streaming"
+MATERIALIZE = "materialize"
+
+DONE = object()
+
+
+class MemoryMeter:
+    """Tracks current and peak bytes held per node (operator state,
+    channel buffers, receive queues)."""
+
+    def __init__(self):
+        self.current: Dict[str, int] = {}
+        self.peak: Dict[str, int] = {}
+
+    def hold(self, node: str, n_bytes: int) -> None:
+        cur = self.current.get(node, 0) + n_bytes
+        self.current[node] = cur
+        if cur > self.peak.get(node, 0):
+            self.peak[node] = cur
+
+    def release(self, node: str, n_bytes: int) -> None:
+        self.current[node] = self.current.get(node, 0) - n_bytes
+
+    def peak_by_node(self) -> Dict[str, int]:
+        return dict(self.peak)
+
+
+class StreamScheduler:
+    """Round-robin advance of concurrent stream iterators with nested-time
+    bookkeeping.
+
+    ``advance`` measures the *self* time of pulling one item: wall time
+    minus any time spent inside nested ``advance`` calls (a sender pull
+    that pumps a deeper exchange must not double-charge the deeper
+    senders' work). ``charge_round`` adds the slowest self-time of a round
+    to the simulated clock -- concurrent streams overlap, so only the
+    slowest one is on the critical path.
+    """
+
+    def __init__(self):
+        self.sim_seconds = 0.0
+        self._nested = [0.0]
+
+    def advance(self, iterator) -> Tuple[object, float]:
+        t0 = _time.perf_counter()
+        self._nested.append(0.0)
+        try:
+            try:
+                item = next(iterator)
+            except StopIteration:
+                item = DONE
+        finally:
+            inner = self._nested.pop()
+            wall = _time.perf_counter() - t0
+            self._nested[-1] += wall
+        return item, max(0.0, wall - inner)
+
+    def charge_round(self, self_times: Iterable[float]) -> None:
+        times = list(self_times)
+        if times:
+            self.sim_seconds += max(times)
+
+
+#: route(src_stream, batch) -> [(dest_stream, piece), ...]
+RouteFn = Callable[[str, Batch], List[Tuple[str, Batch]]]
+
+
+class _SenderState:
+    __slots__ = ("stream", "op", "iterator", "done")
+
+    def __init__(self, stream: str, op: "DXchgSender"):
+        self.stream = stream
+        self.op = op
+        self.iterator = None
+        self.done = False
+
+
+class Exchange:
+    """Shared state of one DXchg: channels, receive queues, progress."""
+
+    def __init__(self, label: str, fabric: MpiFabric, route: RouteFn,
+                 dest_streams: List[str], node_of: Callable[[str], str],
+                 scheduler: StreamScheduler,
+                 meter: Optional[MemoryMeter] = None,
+                 mode: str = STREAMING,
+                 message_size: Optional[int] = None,
+                 n_lanes: int = 1):
+        self.label = label
+        self.fabric = fabric
+        self.route = route
+        self.dest_streams = list(dest_streams)
+        self.node_of = node_of
+        self.scheduler = scheduler
+        self.meter = meter or MemoryMeter()
+        self.mode = mode
+        self.message_size = message_size or fabric.message_size
+        self.n_lanes = n_lanes
+        self.senders: List[_SenderState] = []
+        self.receivers: Dict[str, DXchgReceiver] = {}
+        self.queues: Dict[str, deque] = {}
+        self.channels: Dict[Tuple[str, str], DXchgChannel] = {}
+        self.template: Optional[Batch] = None
+        self.finished = False
+        self._started = False
+        self._open_senders = 0
+        # accounting
+        self.bytes_sent = 0
+        self.local_bytes = 0
+        self.tuples_sent = 0
+        self.tuples_received = 0
+        self._queued_bytes = 0
+        #: high-water mark of the sender-side channel buffers (the
+        #: "DXchg buffer memory" the paper sizes with 2*N*C formulas)
+        self.peak_buffered = 0
+        #: high-water mark of the receive queues (data delivered but not
+        #: yet consumed -- what stop-and-go materialization maximizes)
+        self.peak_queued = 0
+
+    # ------------------------------------------------------------ wiring
+
+    def add_sender(self, stream: str, child: Operator) -> "DXchgSender":
+        op = DXchgSender(child, self, stream)
+        self.senders.append(_SenderState(stream, op))
+        self._open_senders += 1
+        return op
+
+    def attach_receiver(self, stream: str) -> "DXchgReceiver":
+        if stream not in self.receivers:
+            self.receivers[stream] = DXchgReceiver(self, stream)
+            self.queues[stream] = deque()
+        return self.receivers[stream]
+
+    def _channel(self, src_stream: str, dst_stream: str) -> DXchgChannel:
+        key = (src_stream, dst_stream)
+        chan = self.channels.get(key)
+        if chan is None:
+            chan = DXchgChannel(self.fabric, self.node_of(src_stream),
+                                self.node_of(dst_stream),
+                                self.message_size, self.n_lanes)
+            self.channels[key] = chan
+        return chan
+
+    @property
+    def buffer_capacity_bytes(self) -> int:
+        """Allocated sender-buffer capacity across all live channels."""
+        return sum(ch.capacity_bytes for ch in self.channels.values())
+
+    @property
+    def messages_sent(self) -> int:
+        return sum(ch.messages_sent for ch in self.channels.values())
+
+    # --------------------------------------------------------- data path
+
+    def note_template(self, batch: Batch) -> None:
+        if self.template is None and batch.columns:
+            self.template = batch
+
+    def transfer(self, src_stream: str, batch: Batch) -> None:
+        """Route one incoming vector: charge channels, enqueue pieces."""
+        self.note_template(batch)
+        if batch.n == 0:
+            return
+        for dest_stream, piece in self.route(src_stream, batch):
+            if piece.n == 0:
+                continue
+            n_bytes = batch_bytes(piece)
+            chan = self._channel(src_stream, dest_stream)
+            before = chan.buffered
+            chan.push(n_bytes, piece.n)
+            self.bytes_sent += n_bytes
+            self.tuples_sent += piece.n
+            if chan.local:
+                self.local_bytes += n_bytes
+            else:
+                delta = chan.buffered - before
+                if delta > 0:
+                    self.meter.hold(chan.src, delta)
+                elif delta < 0:
+                    self.meter.release(chan.src, -delta)
+            queue = self.queues.get(dest_stream)
+            if queue is not None:
+                queue.append((n_bytes, piece))
+                self._queued_bytes += n_bytes
+                self.meter.hold(self.node_of(dest_stream), n_bytes)
+        self._note_occupancy()
+
+    def on_dequeue(self, dest_stream: str, n_bytes: int,
+                   batch: Batch) -> None:
+        self._queued_bytes -= n_bytes
+        self.tuples_received += batch.n
+        self.meter.release(self.node_of(dest_stream), n_bytes)
+
+    def _note_occupancy(self) -> None:
+        buffered = sum(ch.buffered for ch in self.channels.values())
+        if buffered > self.peak_buffered:
+            self.peak_buffered = buffered
+        if self._queued_bytes > self.peak_queued:
+            self.peak_queued = self._queued_bytes
+
+    # ---------------------------------------------------------- pumping
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for state in self.senders:
+            state.iterator = state.op.execute()
+        if not self.senders:
+            self._finish()
+
+    def pump(self) -> None:
+        """Advance sender fragments.
+
+        Streaming: every unfinished sender moves one vector (a scheduler
+        round); the round costs the slowest stream's self time.
+        Materialize: each sender is drained completely before any
+        consumer sees data -- the stop-and-go baseline.
+        """
+        self.start()
+        if self.finished:
+            return
+        if self.mode == MATERIALIZE:
+            times = []
+            for state in self.senders:
+                total = 0.0
+                while not state.done:
+                    item, dt = self.scheduler.advance(state.iterator)
+                    total += dt
+                    if item is DONE:
+                        state.done = True
+                        self._open_senders -= 1
+                times.append(total)
+            self.scheduler.charge_round(times)
+            self._finish()
+            return
+        times = []
+        for state in self.senders:
+            if state.done:
+                continue
+            item, dt = self.scheduler.advance(state.iterator)
+            times.append(dt)
+            if item is DONE:
+                state.done = True
+                self._open_senders -= 1
+        self.scheduler.charge_round(times)
+        if self._open_senders == 0:
+            self._finish()
+
+    def _finish(self) -> None:
+        if self.finished:
+            return
+        for chan in self.channels.values():
+            released = chan.buffered
+            chan.close()
+            if released > 0 and not chan.local:
+                self.meter.release(chan.src, released)
+        self.finished = True
+
+    # ------------------------------------------------------------ stats
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "bytes": self.bytes_sent,
+            "local_bytes": self.local_bytes,
+            "messages": self.messages_sent,
+            "tuples": self.tuples_sent,
+            "peak_buffered_bytes": self.peak_buffered,
+            "peak_queued_bytes": self.peak_queued,
+            "buffer_capacity_bytes": self.buffer_capacity_bytes,
+        }
+
+    def merged_sender_profile(self):
+        """Fold per-stream sender profiles into one node (like the old
+        per-fragment stream merge), annotated with wire totals."""
+        merged = None
+        for state in self.senders:
+            prof = state.op.profile
+            if prof is None:
+                continue
+            if merged is None:
+                merged = prof
+                if not merged.stream_times:
+                    merged.stream_times.append(merged.cum_time)
+            else:
+                merged.merge_stream(prof)
+        if merged is not None:
+            merged.net_messages = self.messages_sent
+        return merged
+
+
+class DXchgSender(Operator):
+    """Sender half of a DXchg: split each vector by destination and push
+    the pieces into the per-link channels. Driven by the scheduler, not
+    pulled by a parent operator; yields what it forwarded so profiles
+    show sent tuples."""
+
+    def __init__(self, child: Operator, exchange: Exchange, stream: str):
+        super().__init__([child])
+        self.exchange = exchange
+        self.stream = stream
+        self.label = f"{exchange.label}.send"
+
+    def describe(self):
+        return self.label
+
+    def _run(self):
+        for batch in self.children[0].execute():
+            self.exchange.transfer(self.stream, batch)
+            if batch.n and self.profile is not None:
+                self.profile.net_bytes += batch_bytes(batch)
+            yield batch
+
+
+class DXchgReceiver(Operator):
+    """Receiver half of a DXchg: yield batches as messages arrive,
+    pumping the sender fragments whenever the queue runs dry."""
+
+    def __init__(self, exchange: Exchange, stream: str):
+        super().__init__(())
+        self.exchange = exchange
+        self.stream = stream
+        self.label = f"{exchange.label}.recv"
+
+    def describe(self):
+        return self.label
+
+    def _run(self):
+        ex = self.exchange
+        ex.start()
+        queue = ex.queues[self.stream]
+        yielded = False
+        while True:
+            if queue:
+                n_bytes, batch = queue.popleft()
+                ex.on_dequeue(self.stream, n_bytes, batch)
+                if self.profile is not None:
+                    self.profile.net_bytes += n_bytes
+                yielded = True
+                yield batch
+            elif not ex.finished:
+                ex.pump()
+            else:
+                break
+        if not yielded and ex.template is not None:
+            # all-empty input: the schema must still cross the exchange
+            yield Batch.empty_like(ex.template)

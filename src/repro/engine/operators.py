@@ -14,7 +14,12 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.common.errors import ExecutionError
-from repro.engine.batch import Batch, batches_from_columns, concat_batches
+from repro.engine.batch import (
+    Batch,
+    batch_bytes,
+    batches_from_columns,
+    concat_batches,
+)
 from repro.engine.expressions import Expr
 from repro.engine.profile import ProfileNode
 
@@ -26,9 +31,20 @@ class Operator:
 
     label = "Op"
 
+    #: optional (meter, node) set by a distributed executor; pipeline
+    #: breakers report their materialized state through it so per-node
+    #: peak memory covers operator state, not just exchange buffers.
+    memory_meter = None
+    memory_node: Optional[str] = None
+
     def __init__(self, children: Sequence["Operator"] = ()):
         self.children: List[Operator] = list(children)
         self.profile: Optional[ProfileNode] = None
+
+    def _charge_state(self, n_bytes: int) -> None:
+        """Report materialized operator state (hash build, sort buffer)."""
+        if self.memory_meter is not None and n_bytes > 0:
+            self.memory_meter.hold(self.memory_node, n_bytes)
 
     # subclasses implement _run(); execute() adds profiling around it.
     def _run(self) -> Iterator[Batch]:
@@ -104,7 +120,7 @@ class Select(Operator):
                 yield batch.select(mask)
         if not yielded and template is not None:
             # keep column names/dtypes flowing even when nothing qualifies
-            yield Batch({k: v[:0] for k, v in template.columns.items()}, 0)
+            yield Batch.empty_like(template)
 
 
 class Project(Operator):
@@ -342,6 +358,7 @@ class HashJoin(Operator):
 
     def _run(self):
         build = self.children[0].run_to_batch()
+        self._charge_state(batch_bytes(build))
         payload = (list(self.build_payload) if self.build_payload is not None
                    else build.column_names)
         single_int = (
@@ -472,6 +489,7 @@ class MergeJoin(Operator):
     def _run(self):
         left = self.children[0].run_to_batch()
         right = self.children[1].run_to_batch()
+        self._charge_state(batch_bytes(left) + batch_bytes(right))
         if left.n == 0 or right.n == 0:
             out = {k: v[:0] for k, v in left.columns.items()}
             for name, values in right.columns.items():
@@ -531,6 +549,7 @@ class Sort(Operator):
 
     def _run(self):
         data = self.children[0].run_to_batch()
+        self._charge_state(batch_bytes(data))
         if data.n == 0:
             yield data
             return
@@ -557,6 +576,7 @@ class TopN(Operator):
 
     def _run(self):
         data = self.children[0].run_to_batch()
+        self._charge_state(batch_bytes(data))
         if data.n == 0:
             yield data
             return

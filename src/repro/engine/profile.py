@@ -20,6 +20,10 @@ class ProfileNode:
     tuples_out: int = 0
     children: List["ProfileNode"] = field(default_factory=list)
     stream_times: List[float] = field(default_factory=list)
+    #: bytes moved through the network by this operator (DXchg send/recv)
+    net_bytes: int = 0
+    #: whole MPI messages this operator shipped (DXchg senders)
+    net_messages: int = 0
 
     @property
     def time(self) -> float:
@@ -31,6 +35,8 @@ class ProfileNode:
         self.cum_time = max(self.cum_time, other.cum_time)
         self.tuples_in += other.tuples_in
         self.tuples_out += other.tuples_out
+        self.net_bytes += other.net_bytes
+        self.net_messages += other.net_messages
         self.stream_times.append(other.cum_time)
         for mine, theirs in zip(self.children, other.children):
             mine.merge_stream(theirs)
@@ -48,11 +54,15 @@ def format_profile(node: ProfileNode, total_time: Optional[float] = None,
     if len(node.stream_times) > 1:
         lo, hi = min(node.stream_times), max(node.stream_times)
         streams = f" on {len(node.stream_times)} streams [{lo:.4f}s..{hi:.4f}s]"
+    net = ""
+    if node.net_bytes or node.net_messages:
+        net = (f"  net = {node.net_bytes:,} bytes"
+               f" / {node.net_messages:,} msgs")
     lines.append(
         f"{pad}{node.label}{streams}\n"
         f"{pad}  time = {node.time:.4f}s  cum_time = {node.cum_time:.4f}s "
         f"({pct:.2f}%)\n"
-        f"{pad}  in = {node.tuples_in:,}  out = {node.tuples_out:,}"
+        f"{pad}  in = {node.tuples_in:,}  out = {node.tuples_out:,}{net}"
     )
     for child in node.children:
         lines.append(format_profile(child, total_time, indent + 1))

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.common.errors import ExecutionError
-from repro.engine.batch import Batch, batches_from_columns
+from repro.engine.batch import Batch, batch_bytes, batches_from_columns
 from repro.engine.expressions import Expr
 from repro.engine.operators import (
     DEFAULT_VECTOR_SIZE,
@@ -60,6 +60,7 @@ class Window(Operator):
 
     def _run(self):
         data = self.children[0].run_to_batch()
+        self._charge_state(batch_bytes(data))
         if data.n == 0:
             out = dict(data.columns)
             for name, _, _ in self.functions:

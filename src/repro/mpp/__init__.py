@@ -22,6 +22,7 @@ from repro.mpp.logical import (
 )
 from repro.mpp.plan import (
     DXBroadcast,
+    DXchg,
     DXHashSplit,
     DXUnion,
     PhysNode,
@@ -32,7 +33,7 @@ from repro.mpp.executor import MppExecutor, QueryResult
 __all__ = [
     "LogicalPlan", "LScan", "LSelect", "LProject", "LJoin", "LAggr",
     "LSort", "LTopN", "LLimit",
-    "PhysNode", "DXUnion", "DXHashSplit", "DXBroadcast",
+    "PhysNode", "DXchg", "DXUnion", "DXHashSplit", "DXBroadcast",
     "ParallelRewriter", "RewriterFlags",
     "MppExecutor", "QueryResult",
 ]

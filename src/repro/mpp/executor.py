@@ -1,28 +1,47 @@
 """Executes distributed physical plans over the simulated cluster.
 
-Between exchange boundaries the executor composes the plan into one
-vectorized engine fragment and runs it once per stream (one stream per
-worker node; the master is one more stream). Exchange nodes materialize and
-reshuffle batches, charging every cross-node byte to the MPI fabric; the
-intra-node share is a pointer pass, as in the real DXchg.
+Streaming execution core: the whole physical plan -- including exchange
+nodes -- is composed into *one* operator tree per consuming stream.
+Exchange boundaries are crossed by :class:`~repro.engine.exchange.Exchange`
+operator pairs (sender/receiver) that push batch bytes through per-link
+:class:`~repro.net.mpi.DXchgChannel` buffers, flushing whole MPI messages
+as the buffers fill; nothing is materialized between fragments.  A
+:class:`~repro.engine.exchange.StreamScheduler` advances the sender
+fragments round-robin, one vector at a time, and charges simulated time
+for the slowest stream of each round -- the behaviour of a cluster whose
+streams run concurrently.
 
 Reported timings: ``elapsed`` is real single-process wall time;
-``simulated_parallel_seconds`` charges each fragment with its *slowest
-stream* only, which is what a cluster with perfectly overlapped streams
-would observe.
+``simulated_parallel_seconds`` is the scheduler's round-based clock.
+``peak_node_memory`` is measured per node from live DXchg buffer
+occupancy, receive queues, scan buffers and pipeline-breaker operator
+state (hash builds, sort buffers) -- not derived from the ``2*N*C``
+formula.
 """
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+import time as _time
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.common.errors import ExecutionError
-from repro.engine.batch import Batch, concat_batches
-from repro.engine.expressions import Col
+from repro.engine.batch import (
+    Batch,
+    batch_bytes,
+    batches_from_columns,
+    concat_batches,
+)
+from repro.engine.exchange import (
+    DONE,
+    Exchange,
+    MATERIALIZE,
+    MemoryMeter,
+    STREAMING,
+    StreamScheduler,
+)
 from repro.engine.operators import (
     HashAggr,
     HashJoin,
@@ -33,27 +52,14 @@ from repro.engine.operators import (
     Select,
     Sort,
     TopN,
-    VectorSource,
 )
 from repro.engine.profile import ProfileNode, format_profile
 from repro.mpp import plan as P
 
 MASTER_STREAM = "__master__"
 
-
-@dataclass
-class DistRel:
-    """A distributed relation: one batch per stream."""
-
-    kind: str  # partitioned | replicated | master
-    per_node: Dict[str, Batch] = field(default_factory=dict)
-    batch: Optional[Batch] = None
-
-    def stream_batch(self, stream: str) -> Batch:
-        if self.kind == P.PARTITIONED:
-            return self.per_node[stream]
-        assert self.batch is not None
-        return self.batch
+#: serialized batch size estimate (kept as an alias for older callers)
+estimate_batch_bytes = batch_bytes
 
 
 @dataclass
@@ -66,32 +72,52 @@ class QueryResult:
     bytes_read: int
     profiles: List[ProfileNode] = field(default_factory=list)
     plan_text: str = ""
+    #: measured peak resident bytes per node (operator state + DXchg
+    #: buffers + receive queues), from the run's MemoryMeter
+    peak_node_memory: Dict[str, int] = field(default_factory=dict)
+    #: per-exchange statistics dicts (label, bytes, messages, tuples,
+    #: peak_buffered_bytes, peak_queued_bytes, buffer_capacity_bytes)
+    exchanges: List[Dict[str, object]] = field(default_factory=list)
 
     def format_profile(self) -> str:
         return "\n".join(format_profile(p) for p in self.profiles)
 
     def simulated_total_seconds(self,
                                 network_bandwidth: float = 1.25e9) -> float:
-        """Compute time (slowest stream per fragment) plus network time at
+        """Compute time (slowest stream per round) plus network time at
         the given per-link bandwidth (default: 10Gb Ethernet, the paper's
         cluster)."""
         return (self.simulated_parallel_seconds
                 + self.network_bytes / network_bandwidth)
 
+    @property
+    def peak_memory_bytes(self) -> int:
+        """Largest per-node peak across the cluster."""
+        return max(self.peak_node_memory.values(), default=0)
 
-def estimate_batch_bytes(batch: Batch) -> int:
-    """Serialized size estimate (PAX-layout MPI buffers)."""
-    total = 0
-    for values in batch.columns.values():
-        if values.dtype == object:
-            if len(values) == 0:
-                continue
-            sample = values[: min(64, len(values))]
-            avg = sum(len(str(v)) for v in sample) / len(sample)
-            total += int((avg + 4) * len(values))
-        else:
-            total += values.nbytes
-    return total
+    @property
+    def dxchg_peak_buffered_bytes(self) -> int:
+        """Peak bytes held in sender channel buffers, summed per exchange.
+
+        This is the measured counterpart of the paper's DXchg
+        buffer-memory formula: it depends on message size and fanout,
+        not on the exchanged data volume.
+        """
+        return sum(int(ex["peak_buffered_bytes"]) for ex in self.exchanges)
+
+    @property
+    def dxchg_peak_queued_bytes(self) -> int:
+        """Peak bytes parked in receive queues, summed per exchange.
+
+        Schedule-dependent: the streaming pump keeps queues about one
+        round deep, while stop-and-go materialization parks each
+        fragment's entire output here before the consumer starts.
+        """
+        return sum(int(ex["peak_queued_bytes"]) for ex in self.exchanges)
+
+    @property
+    def exchange_messages(self) -> int:
+        return sum(int(ex["messages"]) for ex in self.exchanges)
 
 
 def _hash_to_streams(batch: Batch, keys, workers: List[str]) -> np.ndarray:
@@ -109,6 +135,129 @@ def _hash_to_streams(batch: Batch, keys, workers: List[str]) -> np.ndarray:
     return h % len(workers)
 
 
+class _RunContext:
+    """Per-``execute()`` state.
+
+    Everything the old executor kept on ``self`` (and memoized by
+    ``id(phys)``, which can alias across runs after GC) lives here for
+    exactly one execution, keyed on the plan node *objects* -- the plan
+    root keeps them alive for the duration, so no id reuse is possible.
+    """
+
+    def __init__(self, trans, mode: str, n_lanes: int, vector_size: int):
+        self.trans = trans
+        self.mode = mode
+        self.n_lanes = n_lanes
+        self.vector_size = vector_size
+        self.scheduler = StreamScheduler()
+        self.meter = MemoryMeter()
+        self.exchanges: Dict[P.PhysNode, Exchange] = {}
+        self.exchange_order: List[Exchange] = []
+        self.replays: Dict[P.PhysNode, "_SharedReplay"] = {}
+        self.replay_order: List["_SharedReplay"] = []
+
+
+class StreamingScan(Operator):
+    """Leaf: scans this stream's partitions lazily, one at a time, and
+    slices them into engine vectors -- the scan is part of the pipeline,
+    not a pre-materialized island."""
+
+    def __init__(self, cluster, phys: P.PScan, node: str, ctx: _RunContext):
+        super().__init__(())
+        self.cluster = cluster
+        self.phys = phys
+        self.node = node
+        self.ctx = ctx
+
+    def describe(self):
+        return self.phys.describe()
+
+    def _typed_empty(self) -> Batch:
+        """Zero-row batch with engine dtypes (decimals scan as float64)."""
+        table = self.cluster.tables[self.phys.table]
+        cols = {}
+        for name in self.phys.columns:
+            if table._decimal_scale(name) is not None:
+                dtype = np.dtype(np.float64)
+            else:
+                dtype = table.schema.ctype(name).dtype
+            cols[name] = np.empty(0, dtype=dtype)
+        return Batch(cols, 0)
+
+    def _run(self):
+        cluster = self.cluster
+        phys = self.phys
+        table = cluster.tables[phys.table]
+        trans = self.ctx.trans
+        yielded = False
+        for pid in range(table.n_partitions):
+            if cluster.responsible(phys.table, pid) != self.node:
+                continue
+            res = table.scan_partition(
+                pid, phys.columns, phys.skip_predicates,
+                trans=trans.trans_for(phys.table, pid) if trans else None,
+                reader=self.node, pool=cluster.pool_of(self.node),
+            )
+            held = batch_bytes(Batch.from_columns(res.columns))
+            if self.memory_meter is not None and held:
+                self.memory_meter.hold(self.memory_node, held)
+            try:
+                for b in batches_from_columns(res.columns,
+                                              self.ctx.vector_size):
+                    yielded = yielded or bool(b.columns)
+                    yield b
+            finally:
+                if self.memory_meter is not None and held:
+                    self.memory_meter.release(self.memory_node, held)
+        if not yielded:
+            # this node owns no partitions (or none produced columns):
+            # the schema must still flow downstream
+            yield self._typed_empty()
+
+
+class _SharedReplay:
+    """Compute a replicated subtree once (on its home stream) and replay
+    the recorded vectors to every consuming stream -- replicated inputs
+    are identical everywhere, so only one stream pays the compute and IO,
+    exactly like the old compute-once fragment rule."""
+
+    def __init__(self, op: Operator, scheduler: StreamScheduler):
+        self.op = op
+        self.scheduler = scheduler
+        self.batches: Optional[List[Batch]] = None
+        self.sources: List["ReplaySource"] = []
+
+    def materialize(self) -> List[Batch]:
+        if self.batches is None:
+            recorded: List[Batch] = []
+            iterator = self.op.execute()
+            while True:
+                item, dt = self.scheduler.advance(iterator)
+                self.scheduler.charge_round([dt])
+                if item is DONE:
+                    break
+                recorded.append(item)
+            self.batches = recorded
+        return self.batches
+
+
+class ReplaySource(Operator):
+    """One consuming stream's view of a :class:`_SharedReplay`."""
+
+    def __init__(self, shared: _SharedReplay, label: str):
+        super().__init__(())
+        self.shared = shared
+        self.label = label
+        shared.sources.append(self)
+
+    def describe(self):
+        return self.label
+
+    def _run(self):
+        for batch in self.shared.materialize():
+            yield batch
+
+
 class MppExecutor:
     """Runs physical plans against a VectorH cluster object."""
 
@@ -117,237 +266,221 @@ class MppExecutor:
 
     # ------------------------------------------------------------------ public
 
-    def execute(self, root: P.PhysNode, trans=None) -> QueryResult:
-        self._trans = trans
-        self._memo: Dict[int, DistRel] = {}
-        self._profiles: List[ProfileNode] = []
-        self._sim_seconds = 0.0
-        mpi = self.cluster.mpi
+    def execute(self, root: P.PhysNode, trans=None,
+                exchange_mode: str = STREAMING,
+                thread_to_node: bool = True) -> QueryResult:
+        """Execute a physical plan.
+
+        ``exchange_mode`` selects how exchange sender fragments are
+        scheduled: ``"streaming"`` (default) advances them round-robin one
+        vector at a time through the DXchg channels; ``"materialize"``
+        drains each sender completely before consumers start -- the
+        stop-and-go baseline, with identical per-link bytes/messages.
+        ``thread_to_node`` picks the DXchg buffering granularity (paper
+        section 5): one open buffer per destination node, or one per
+        destination *core* (``n_lanes = cores_per_node``).
+        """
+        cluster = self.cluster
+        ctx = _RunContext(
+            trans=trans, mode=exchange_mode,
+            n_lanes=1 if thread_to_node else cluster.config.cores_per_node,
+            vector_size=cluster.config.vector_size,
+        )
+        mpi = cluster.mpi
         net0_bytes, net0_msgs = mpi.total_bytes, mpi.total_messages
-        read0 = self.cluster.hdfs.total_bytes_read()
+        read0 = cluster.hdfs.total_bytes_read()
         start = _time.perf_counter()
-        rel = self._execute(root)
-        if rel.kind != P.MASTER:
-            rel = self._gather(rel)
+
+        top = root
+        if top.distribution.kind == P.PARTITIONED:
+            # final gather at the session master (normally the rewriter
+            # inserts this; raw physical plans get it implicitly)
+            top = P.DXUnion(top)
+        op = self._build_op(top, MASTER_STREAM, ctx)
+
+        batches: List[Batch] = []
+        iterator = op.execute()
+        while True:
+            item, dt = ctx.scheduler.advance(iterator)
+            ctx.scheduler.charge_round([dt])
+            if item is DONE:
+                break
+            batches.append(item)
+        # a Limit/TopN root may abandon receivers mid-stream: close any
+        # remaining channels so partial buffers are flushed and accounted
+        for ex in ctx.exchange_order:
+            ex._finish()
         elapsed = _time.perf_counter() - start
+
         return QueryResult(
-            batch=rel.batch if rel.batch is not None else Batch({}, 0),
+            batch=concat_batches(batches),
             elapsed=elapsed,
-            simulated_parallel_seconds=self._sim_seconds,
+            simulated_parallel_seconds=ctx.scheduler.sim_seconds,
             network_bytes=mpi.total_bytes - net0_bytes,
             network_messages=mpi.total_messages - net0_msgs,
-            bytes_read=self.cluster.hdfs.total_bytes_read() - read0,
-            profiles=self._profiles,
+            bytes_read=cluster.hdfs.total_bytes_read() - read0,
+            profiles=self._assemble_profiles(op, ctx),
             plan_text=root.pretty(),
+            peak_node_memory=ctx.meter.peak_by_node(),
+            exchanges=[ex.stats() for ex in ctx.exchange_order],
         )
 
-    # ------------------------------------------------------------------ driver
+    # ---------------------------------------------------------------- streams
 
-    def _execute(self, phys: P.PhysNode) -> DistRel:
-        cached = self._memo.get(id(phys))
-        if cached is not None:
-            return cached
-        if isinstance(phys, P.PScan):
-            rel = self._run_scan(phys)
-        elif isinstance(phys, P.DXUnion):
-            rel = self._gather(self._execute(phys.children[0]))
-        elif isinstance(phys, P.DXBroadcast):
-            rel = self._broadcast(self._execute(phys.children[0]))
-        elif isinstance(phys, P.DXHashSplit):
-            rel = self._hash_split(self._execute(phys.children[0]),
-                                   phys.keys, phys.align_with)
-        else:
-            rel = self._run_fragment(phys)
-        self._memo[id(phys)] = rel
-        return rel
+    def _node_of(self, stream: str) -> str:
+        return (self.cluster.session_master
+                if stream == MASTER_STREAM else stream)
 
-    def _streams_for(self, dist: P.Distribution) -> List[str]:
-        if dist.kind == P.MASTER:
+    def _source_streams(self, child: P.PhysNode) -> List[str]:
+        """Which streams feed an exchange, from the child's distribution:
+        a master-side child sends from the master stream, a replicated
+        child from one representative worker, a partitioned child from
+        every worker."""
+        kind = child.distribution.kind
+        if kind == P.MASTER:
             return [MASTER_STREAM]
+        if kind == P.REPLICATED:
+            return [self.cluster.workers[0]]
         return list(self.cluster.workers)
 
-    def _run_fragment(self, phys: P.PhysNode) -> DistRel:
-        dist = phys.distribution
-        streams = self._streams_for(dist)
-        if dist.kind == P.REPLICATED:
-            # identical everywhere; compute once, charge the slowest stream
-            streams = streams[:1]
-        results: Dict[str, Batch] = {}
-        merged_profile: Optional[ProfileNode] = None
-        stream_times: List[float] = []
-        for stream in streams:
-            op = self._build_op(phys, stream)
-            t0 = _time.perf_counter()
-            batch = op.run_to_batch()
-            stream_times.append(_time.perf_counter() - t0)
-            results[stream] = batch
-            if op.profile is not None:
-                if merged_profile is None:
-                    merged_profile = op.profile
-                    merged_profile.stream_times.append(stream_times[-1])
-                else:
-                    merged_profile.merge_stream(op.profile)
-        if merged_profile is not None:
-            self._profiles.append(merged_profile)
-        self._sim_seconds += max(stream_times) if stream_times else 0.0
-        if dist.kind == P.MASTER:
-            return DistRel(P.MASTER, batch=results[MASTER_STREAM])
-        if dist.kind == P.REPLICATED:
-            return DistRel(P.REPLICATED, batch=results[streams[0]])
-        return DistRel(P.PARTITIONED, per_node=results)
+    def _meter(self, op: Operator, stream: str, ctx: _RunContext) -> None:
+        op.memory_meter = ctx.meter
+        op.memory_node = self._node_of(stream)
 
-    # ------------------------------------------------------------- fragments
+    # ------------------------------------------------------------------ build
 
-    def _build_op(self, phys: P.PhysNode, stream: str) -> Operator:
-        """Compose the engine operator tree for one stream."""
-        if isinstance(phys, (P.PScan, P.DXUnion, P.DXBroadcast,
-                             P.DXHashSplit)):
-            rel = self._execute(phys)
-            batch = rel.stream_batch(
-                stream if rel.kind == P.PARTITIONED else stream
-            )
-            return VectorSource(batch.columns, self._vector_size(),
-                                label=phys.describe())
-        kids = [self._build_op(c, stream) for c in phys.children]
+    def _build_op(self, phys: P.PhysNode, stream: str, ctx: _RunContext,
+                  share_ok: bool = True) -> Operator:
+        """Compose the engine operator tree for one consuming stream.
+
+        Exchange plan nodes become receiver operators wired to a shared
+        :class:`Exchange`; replicated subtrees become shared replays.
+        """
+        if (share_ok and phys.distribution.kind == P.REPLICATED
+                and not isinstance(phys, P.DXBroadcast)):
+            shared = ctx.replays.get(phys)
+            if shared is None:
+                home = self.cluster.workers[0]
+                real = self._build_op(phys, home, ctx, share_ok=False)
+                shared = _SharedReplay(real, ctx.scheduler)
+                ctx.replays[phys] = shared
+                ctx.replay_order.append(shared)
+            src = ReplaySource(shared, phys.describe())
+            self._meter(src, stream, ctx)
+            return src
+
+        if isinstance(phys, P.DXUnion):
+            child = phys.children[0]
+            if child.distribution.kind in (P.MASTER, P.REPLICATED):
+                # already a single logical copy: the gather is free
+                return self._build_op(child, stream, ctx, share_ok)
+            return self._exchange_receiver(phys, stream, ctx)
+        if isinstance(phys, P.DXBroadcast):
+            child = phys.children[0]
+            if child.distribution.kind == P.REPLICATED:
+                return self._build_op(child, stream, ctx, share_ok)
+            return self._exchange_receiver(phys, stream, ctx)
+        if isinstance(phys, P.DXHashSplit):
+            return self._exchange_receiver(phys, stream, ctx)
+
+        if isinstance(phys, P.PScan):
+            op = StreamingScan(self.cluster, phys, self._node_of(stream), ctx)
+            self._meter(op, stream, ctx)
+            return op
+
+        kids = [self._build_op(c, stream, ctx, share_ok)
+                for c in phys.children]
         if isinstance(phys, P.PSelect):
-            return Select(kids[0], phys.predicate)
-        if isinstance(phys, P.PProject):
-            return Project(kids[0], phys.outputs)
-        if isinstance(phys, P.PAggr):
-            return HashAggr(kids[0], phys.group_by, phys.aggregates)
-        if isinstance(phys, P.PHashJoin):
-            return HashJoin(kids[0], kids[1], phys.build_keys,
-                            phys.probe_keys, phys.how, phys.build_payload)
-        if isinstance(phys, P.PMergeJoin):
-            return MergeJoin(kids[0], kids[1], phys.left_key, phys.right_key)
-        if isinstance(phys, P.PSort):
-            return Sort(kids[0], phys.keys, phys.ascending)
-        if isinstance(phys, P.PTopN):
-            return TopN(kids[0], phys.keys, phys.n, phys.ascending)
-        if isinstance(phys, P.PLimit):
-            return Limit(kids[0], phys.n)
-        if isinstance(phys, P.PWindow):
+            op = Select(kids[0], phys.predicate)
+        elif isinstance(phys, P.PProject):
+            op = Project(kids[0], phys.outputs)
+        elif isinstance(phys, P.PAggr):
+            op = HashAggr(kids[0], phys.group_by, phys.aggregates)
+        elif isinstance(phys, P.PHashJoin):
+            op = HashJoin(kids[0], kids[1], phys.build_keys,
+                          phys.probe_keys, phys.how, phys.build_payload)
+        elif isinstance(phys, P.PMergeJoin):
+            op = MergeJoin(kids[0], kids[1], phys.left_key, phys.right_key)
+        elif isinstance(phys, P.PSort):
+            op = Sort(kids[0], phys.keys, phys.ascending)
+        elif isinstance(phys, P.PTopN):
+            op = TopN(kids[0], phys.keys, phys.n, phys.ascending)
+        elif isinstance(phys, P.PLimit):
+            op = Limit(kids[0], phys.n)
+        elif isinstance(phys, P.PWindow):
             from repro.engine.window import Window
-            return Window(kids[0], phys.partition_by, phys.order_by,
-                          phys.functions, phys.ascending)
-        if isinstance(phys, P.PUnionAll):
+            op = Window(kids[0], phys.partition_by, phys.order_by,
+                        phys.functions, phys.ascending)
+        elif isinstance(phys, P.PUnionAll):
             from repro.engine.operators import UnionAll
-            return UnionAll(kids)
-        raise ExecutionError(f"cannot build operator for {phys!r}")
+            op = UnionAll(kids)
+        else:
+            raise ExecutionError(f"cannot build operator for {phys!r}")
+        self._meter(op, stream, ctx)
+        return op
 
-    def _vector_size(self) -> int:
-        return self.cluster.config.vector_size
+    # -------------------------------------------------------------- exchanges
 
-    # --------------------------------------------------------------- scans
+    def _exchange_receiver(self, phys: P.PhysNode, stream: str,
+                           ctx: _RunContext) -> Operator:
+        ex = ctx.exchanges.get(phys)
+        if ex is None:
+            ex = self._make_exchange(phys, ctx)
+            ctx.exchanges[phys] = ex
+            ctx.exchange_order.append(ex)
+            child = phys.children[0]
+            for src_stream in self._source_streams(child):
+                child_op = self._build_op(child, src_stream, ctx,
+                                          share_ok=True)
+                sender = ex.add_sender(src_stream, child_op)
+                self._meter(sender, src_stream, ctx)
+        receiver = ex.attach_receiver(stream)
+        self._meter(receiver, stream, ctx)
+        return receiver
 
-    def _run_scan(self, phys: P.PScan) -> DistRel:
-        table = self.cluster.tables[phys.table]
-        per_node: Dict[str, List[Batch]] = {w: [] for w in self.cluster.workers}
-        node_times: Dict[str, float] = {w: 0.0 for w in self.cluster.workers}
-        if table.is_replicated:
-            # every worker scans its cached copy; compute once
-            t0 = _time.perf_counter()
-            res = table.scan_partition(
-                0, phys.columns, phys.skip_predicates,
-                trans=self._table_trans(phys.table, 0),
-                reader=self.cluster.workers[0],
-                pool=self.cluster.pool_of(self.cluster.workers[0]),
-            )
-            dt = _time.perf_counter() - t0
-            self._sim_seconds += dt
-            return DistRel(P.REPLICATED, batch=Batch.from_columns(res.columns))
-        for pid in range(table.n_partitions):
-            node = self.cluster.responsible(phys.table, pid)
-            t0 = _time.perf_counter()
-            res = table.scan_partition(
-                pid, phys.columns, phys.skip_predicates,
-                trans=self._table_trans(phys.table, pid),
-                reader=node, pool=self.cluster.pool_of(node),
-            )
-            node_times[node] += _time.perf_counter() - t0
-            per_node.setdefault(node, []).append(
-                Batch.from_columns(res.columns)
-            )
-        batches = {}
-        template = None
-        for node, parts in per_node.items():
-            merged = concat_batches(parts)
-            if merged.n or merged.columns:
-                template = merged if merged.columns else template
-            batches[node] = merged
-        template = template or Batch(
-            {c: np.empty(0) for c in phys.columns}, 0
+    def _make_exchange(self, phys: P.PhysNode, ctx: _RunContext) -> Exchange:
+        workers = list(self.cluster.workers)
+        if isinstance(phys, P.DXUnion):
+            dests = [MASTER_STREAM]
+
+            def route(src, batch):
+                return [(MASTER_STREAM, batch)]
+        elif isinstance(phys, P.DXBroadcast):
+            dests = workers
+
+            def route(src, batch):
+                return [(w, batch) for w in workers]
+        elif isinstance(phys, P.DXHashSplit):
+            dests = workers
+            destinations = self._split_destinations(phys, workers)
+
+            def route(src, batch):
+                dest = destinations(batch)
+                pieces = []
+                for i, w in enumerate(workers):
+                    mask = dest == i
+                    if mask.any():
+                        pieces.append((w, batch.select(mask)))
+                return pieces
+        else:
+            raise ExecutionError(f"not an exchange: {phys!r}")
+        return Exchange(
+            phys.describe(), self.cluster.mpi, route, dests,
+            self._node_of, ctx.scheduler, meter=ctx.meter,
+            mode=ctx.mode, n_lanes=ctx.n_lanes,
         )
-        for node in batches:
-            if not batches[node].columns:
-                batches[node] = Batch(
-                    {k: v[:0] for k, v in template.columns.items()}, 0
-                )
-        self._sim_seconds += max(node_times.values()) if node_times else 0.0
-        return DistRel(P.PARTITIONED, per_node=batches)
 
-    def _table_trans(self, table_name: str, pid: int):
-        """Resolve the Trans-PDT for one partition of the active txn."""
-        if self._trans is None:
-            return None
-        return self._trans.trans_for(table_name, pid)
-
-    # ------------------------------------------------------------ exchanges
-
-    def _gather(self, rel: DistRel) -> DistRel:
-        mpi = self.cluster.mpi
-        master = self.cluster.session_master
-        if rel.kind == P.MASTER:
-            return rel
-        if rel.kind == P.REPLICATED:
-            return DistRel(P.MASTER, batch=rel.batch)
-        pieces = []
-        for node in self.cluster.workers:
-            batch = rel.per_node[node]
-            mpi.send(node, master, estimate_batch_bytes(batch))
-            pieces.append(batch)
-        merged = concat_batches(pieces)
-        if not merged.columns and pieces:
-            merged = pieces[0]
-        return DistRel(P.MASTER, batch=merged)
-
-    def _broadcast(self, rel: DistRel) -> DistRel:
-        mpi = self.cluster.mpi
-        workers = self.cluster.workers
-        if rel.kind == P.REPLICATED:
-            return rel
-        if rel.kind == P.MASTER:
-            size = estimate_batch_bytes(rel.batch)
-            for w in workers:
-                mpi.send(self.cluster.session_master, w, size)
-            return DistRel(P.REPLICATED, batch=rel.batch)
-        pieces = []
-        for src in workers:
-            batch = rel.per_node[src]
-            size = estimate_batch_bytes(batch)
-            for dst in workers:
-                mpi.send(src, dst, size)
-            pieces.append(batch)
-        merged = concat_batches(pieces)
-        if not merged.columns and pieces:
-            merged = pieces[0]
-        return DistRel(P.REPLICATED, batch=merged)
-
-    def _hash_split(self, rel: DistRel, keys,
-                    align_with: str = None) -> DistRel:
-        mpi = self.cluster.mpi
-        workers = self.cluster.workers
-
-        if align_with is not None:
+    def _split_destinations(self, phys: P.DXHashSplit, workers: List[str]):
+        keys = phys.keys
+        if phys.align_with is not None:
             # route with the aligned table's partition function and
             # responsibility map, so rows land with their join partners
-            schema = self.cluster.tables[align_with].schema
+            schema = self.cluster.tables[phys.align_with].schema
             node_index = {w: i for i, w in enumerate(workers)}
+            align_with = phys.align_with
 
             def destinations(batch: Batch) -> np.ndarray:
-                pids = schema.partition_ids(
-                    [batch.columns[k] for k in keys]
-                )
+                pids = schema.partition_ids([batch.columns[k] for k in keys])
                 out = np.empty(batch.n, dtype=np.int64)
                 for pid in np.unique(pids):
                     node = self.cluster.responsible(align_with, int(pid))
@@ -356,34 +489,46 @@ class MppExecutor:
         else:
             def destinations(batch: Batch) -> np.ndarray:
                 return _hash_to_streams(batch, keys, workers)
-        incoming: Dict[str, List[Batch]] = {w: [] for w in workers}
-        sources: List[Tuple[str, Batch]] = []
-        if rel.kind == P.PARTITIONED:
-            sources = [(w, rel.per_node[w]) for w in workers]
-        elif rel.kind == P.MASTER:
-            sources = [(self.cluster.session_master, rel.batch)]
-        else:  # replicated: split the copy held by the first worker
-            sources = [(workers[0], rel.batch)]
-        template: Optional[Batch] = None
-        for src, batch in sources:
-            if batch.columns and template is None:
-                template = batch
-            if batch.n == 0:
+        return destinations
+
+    # --------------------------------------------------------------- profiles
+
+    def _assemble_profiles(self, root_op: Operator,
+                           ctx: _RunContext) -> List[ProfileNode]:
+        """One spanning profile tree: fold every exchange's per-stream
+        sender profiles into one node and graft it under the exchange's
+        receiver; graft shared replicated subtrees under their first
+        replay source. Exchanges are processed outer-first (creation
+        order), so inner grafts land inside already-merged trees."""
+        orphans: List[ProfileNode] = []
+        for ex in ctx.exchange_order:
+            merged = ex.merged_sender_profile()
+            if merged is None:
                 continue
-            dest = destinations(batch)
-            for i, dst in enumerate(workers):
-                mask = dest == i
-                if not mask.any():
-                    continue
-                piece = batch.select(mask)
-                mpi.send(src, dst, estimate_batch_bytes(piece))
-                incoming[dst].append(piece)
-        out: Dict[str, Batch] = {}
-        for w in workers:
-            merged = concat_batches(incoming[w])
-            if not merged.columns and template is not None:
-                merged = Batch(
-                    {k: v[:0] for k, v in template.columns.items()}, 0
-                )
-            out[w] = merged
-        return DistRel(P.PARTITIONED, per_node=out)
+            anchor = next(
+                (r.profile for r in ex.receivers.values()
+                 if r.profile is not None), None,
+            )
+            if anchor is not None:
+                anchor.children.append(merged)
+                anchor.tuples_in = merged.tuples_out
+            else:
+                orphans.append(merged)
+        for shared in ctx.replay_order:
+            prof = shared.op.profile
+            if prof is None:
+                continue
+            anchor = next(
+                (s.profile for s in shared.sources
+                 if s.profile is not None), None,
+            )
+            if anchor is not None:
+                anchor.children.append(prof)
+                anchor.tuples_in = prof.tuples_out
+            else:
+                orphans.append(prof)
+        profiles: List[ProfileNode] = []
+        if root_op.profile is not None:
+            profiles.append(root_op.profile)
+        profiles.extend(orphans)
+        return profiles

@@ -206,7 +206,12 @@ class PLimit(PhysNode):
 # Exchanges: the only data movement points
 # ---------------------------------------------------------------------------
 
-class DXUnion(PhysNode):
+class DXchg(PhysNode):
+    """Base of the exchange nodes: the executor turns each one into a
+    sender/receiver operator pair streaming through DXchg channels."""
+
+
+class DXUnion(DXchg):
     """Gather all worker streams at the session master."""
 
     label = "DXchgUnion"
@@ -215,7 +220,7 @@ class DXUnion(PhysNode):
         super().__init__([child], Distribution(MASTER))
 
 
-class DXHashSplit(PhysNode):
+class DXHashSplit(DXchg):
     """Repartition by hash of ``keys`` across all workers (all-to-all).
 
     When ``align_with`` names a table, rows are routed with *that table's*
@@ -240,7 +245,7 @@ class DXHashSplit(PhysNode):
         return f"DXchgHashSplit[{','.join(self.keys)}{suffix}]"
 
 
-class DXBroadcast(PhysNode):
+class DXBroadcast(DXchg):
     """Replicate a (small) relation to every worker."""
 
     label = "DXchgBroadcast"

@@ -1,12 +1,15 @@
-"""Message-passing accounting for DXchg operators (paper section 5).
+"""Message-passing layer for DXchg operators (paper section 5).
 
 The real system sends fixed-size (>=256KB) MPI messages with double
 buffering so communication overlaps processing, and passes pointers instead
-of messages for intra-node traffic. Here we account every transfer:
-per-link bytes and message counts (rounded up to whole messages, since a
-DXchg sender flushes a buffer when full or at end-of-stream), and
-zero-copy local transfers -- the numbers behind the network-cost figures
-and the thread-to-node ablation.
+of messages for intra-node traffic. :class:`MpiFabric` accounts every
+transfer (per-link bytes and message counts, zero-copy local transfers);
+:class:`DXchgChannel` models one sender's outgoing buffer towards one
+destination: batch bytes accumulate in open buffers and whole
+``message_size`` messages are flushed as soon as a buffer fills, with a
+partial flush at end-of-stream -- so exchange memory is *measured* from
+live buffer occupancy rather than derived from the ``2*N*C`` /
+``2*N*C^2`` formula alone.
 """
 
 from __future__ import annotations
@@ -17,7 +20,7 @@ from typing import Dict, Tuple
 
 def dxchg_buffer_memory(n_nodes: int, n_cores: int, message_size: int,
                         thread_to_node: bool) -> int:
-    """Per-node DXchg sender buffer memory, in bytes.
+    """Per-node DXchg sender buffer *capacity*, in bytes (the formula).
 
     The original thread-to-thread DXchg partitions with fanout
     ``n_nodes * n_cores``: with double buffering and ``n_cores`` senders
@@ -41,7 +44,13 @@ class MpiFabric:
         self.local_bytes = 0  # intra-node pointer passes (no memcpy)
 
     def send(self, src: str, dst: str, n_bytes: int) -> None:
-        """Record a transfer; intra-node sends are pointer passes."""
+        """Record a one-shot transfer; intra-node sends are pointer passes.
+
+        The payload is rounded up to whole messages, as a materializing
+        sender that hands the full buffer to MPI at once would observe.
+        Streaming senders go through :class:`DXchgChannel`, which calls
+        :meth:`send_message` per flushed buffer instead.
+        """
         if n_bytes <= 0:
             return
         if src == dst:
@@ -50,6 +59,21 @@ class MpiFabric:
         self.bytes_by_link[(src, dst)] += n_bytes
         messages = max(1, -(-n_bytes // self.message_size))
         self.messages_by_link[(src, dst)] += messages
+
+    def send_message(self, src: str, dst: str, n_bytes: int) -> None:
+        """Record one wire message carrying ``n_bytes`` of payload.
+
+        Used by :class:`DXchgChannel` flushes: each flush is exactly one
+        MPI message regardless of fill level (a partial end-of-stream
+        buffer still costs a full message slot on the wire).
+        """
+        if n_bytes <= 0:
+            return
+        if src == dst:
+            self.local_bytes += n_bytes
+            return
+        self.bytes_by_link[(src, dst)] += n_bytes
+        self.messages_by_link[(src, dst)] += 1
 
     @property
     def total_bytes(self) -> int:
@@ -70,3 +94,91 @@ class MpiFabric:
             "total_messages": self.total_messages,
             "local_bytes": self.local_bytes,
         }
+
+
+class DXchgChannel:
+    """One sender's outgoing DXchg buffers towards one destination node.
+
+    ``n_lanes`` models the receiver-side fanout: the thread-to-node DXchg
+    keeps a single open buffer per destination *node* (``n_lanes=1``),
+    while the original thread-to-thread variant keeps one per receiver
+    *thread* (``n_lanes=n_cores``). More lanes means each lane fills more
+    slowly, so end-of-stream flushes ship more, emptier messages -- the
+    throughput argument for thread-to-node buffering.
+
+    Intra-node channels (``src == dst``) are pointer passes: bytes are
+    accounted as local traffic and nothing is ever buffered.
+
+    With double buffering the allocated capacity is ``2 * n_lanes *
+    message_size`` per channel; ``peak_buffered`` tracks the bytes the
+    open buffers actually held.
+    """
+
+    def __init__(self, fabric: MpiFabric, src: str, dst: str,
+                 message_size: int = None, n_lanes: int = 1):
+        self.fabric = fabric
+        self.src = src
+        self.dst = dst
+        self.message_size = message_size or fabric.message_size
+        self.n_lanes = max(1, n_lanes)
+        self.lanes = [0] * self.n_lanes  # open-buffer occupancy per lane
+        self._next_lane = 0
+        self.buffered = 0  # total bytes currently in open buffers
+        self.peak_buffered = 0
+        self.bytes_pushed = 0
+        self.tuples_pushed = 0
+        self.messages_sent = 0
+        self.local = src == dst
+        self.closed = False
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Allocated sender-buffer capacity (double buffering)."""
+        if self.local:
+            return 0
+        return 2 * self.n_lanes * self.message_size
+
+    def push(self, n_bytes: int, n_tuples: int = 0) -> None:
+        """Accumulate a batch's bytes; flush every buffer that fills."""
+        if self.closed:
+            raise RuntimeError("push on closed DXchgChannel")
+        if n_bytes <= 0:
+            return
+        self.bytes_pushed += n_bytes
+        self.tuples_pushed += n_tuples
+        if self.local:
+            self.fabric.send_message(self.src, self.dst, n_bytes)
+            return
+        # Spread the batch across lanes round-robin (one value-range per
+        # receiver thread in the real system); each full lane buffer is
+        # handed to MPI immediately so communication overlaps processing.
+        per_lane, extra = divmod(n_bytes, self.n_lanes)
+        for i in range(self.n_lanes):
+            lane = (self._next_lane + i) % self.n_lanes
+            share = per_lane + (1 if i < extra else 0)
+            if share:
+                self.lanes[lane] += share
+                self.buffered += share
+        self._next_lane = (self._next_lane + 1) % self.n_lanes
+        if self.buffered > self.peak_buffered:
+            self.peak_buffered = self.buffered
+        for lane in range(self.n_lanes):
+            while self.lanes[lane] >= self.message_size:
+                self.fabric.send_message(self.src, self.dst,
+                                         self.message_size)
+                self.lanes[lane] -= self.message_size
+                self.buffered -= self.message_size
+                self.messages_sent += 1
+
+    def close(self) -> None:
+        """End of stream: flush every non-empty lane as a partial message."""
+        if self.closed:
+            return
+        self.closed = True
+        for lane in range(self.n_lanes):
+            if self.lanes[lane] > 0:
+                self.fabric.send_message(self.src, self.dst,
+                                         self.lanes[lane])
+                self.buffered -= self.lanes[lane]
+                self.lanes[lane] = 0
+                self.messages_sent += 1

@@ -93,37 +93,34 @@ class TestExchanges:
         result = cluster.query(plan)
         assert result.batch.n == 4  # keys 0..3 exist in t
 
+    @staticmethod
+    def _scan(keys=("k",), co_location="t"):
+        return P.PScan("t", ["k"], [], P.Distribution(
+            P.PARTITIONED, tuple(keys), co_location=co_location))
+
     def test_aligned_split_routes_home(self, cluster):
         # reshuffling t on its own partition key with alignment moves
-        # nothing across the network
-        phys = P.DXHashSplit(
-            P.PScan("t", ["k"], [], P.Distribution(
-                P.PARTITIONED, ("k",), co_location="t")),
-            ["k"], align_with="t")
+        # nothing across the network: only the final gather costs bytes,
+        # the same bytes a plain scan's gather costs
         executor = MppExecutor(cluster)
-        cluster.mpi.reset()
-        executor._trans = None
-        executor._memo = {}
-        executor._profiles = []
-        executor._sim_seconds = 0.0
-        rel = executor._execute(phys)
-        assert cluster.mpi.total_bytes == 0
-        total = sum(b.n for b in rel.per_node.values())
-        assert total == 600
+        baseline = executor.execute(self._scan())
+        phys = P.DXHashSplit(self._scan(), ["k"], align_with="t")
+        result = executor.execute(phys)
+        assert result.batch.n == 600
+        assert result.network_bytes == baseline.network_bytes
+        split_stats = next(ex for ex in result.exchanges
+                           if "HashSplit" in str(ex["label"]))
+        # everything the split moved stayed on-node (pointer passes)
+        assert split_stats["local_bytes"] == split_stats["bytes"] > 0
 
     def test_unaligned_split_moves_data(self, cluster):
-        phys = P.DXHashSplit(
-            P.PScan("t", ["k"], [], P.Distribution(
-                P.PARTITIONED, ("k",), co_location="t")),
-            ["k"])
         executor = MppExecutor(cluster)
-        cluster.mpi.reset()
-        executor._trans = None
-        executor._memo = {}
-        executor._profiles = []
-        executor._sim_seconds = 0.0
-        executor._execute(phys)
-        assert cluster.mpi.total_bytes > 0
+        baseline = executor.execute(self._scan())
+        phys = P.DXHashSplit(self._scan(), ["k"])
+        result = executor.execute(phys)
+        assert result.batch.n == 600
+        # the generic hash scatters rows away from their home nodes
+        assert result.network_bytes > baseline.network_bytes
 
 
 class TestDistributionCorrectness:

@@ -1,0 +1,142 @@
+"""Unit tests for the MPI fabric and the DXchg channel layer."""
+
+import pytest
+
+from repro.net.mpi import DXchgChannel, MpiFabric, dxchg_buffer_memory
+
+MSG = 1000
+
+
+@pytest.fixture()
+def fabric():
+    return MpiFabric(message_size=MSG)
+
+
+class TestBufferMemoryFormula:
+    def test_thread_to_thread_is_quadratic_in_cores(self):
+        assert dxchg_buffer_memory(100, 20, 256 * 1024, False) == \
+            2 * 100 * 20 * 20 * 256 * 1024
+
+    def test_thread_to_node_is_linear_in_cores(self):
+        assert dxchg_buffer_memory(100, 20, 256 * 1024, True) == \
+            2 * 100 * 20 * 256 * 1024
+
+    def test_ratio_is_core_count(self):
+        t2t = dxchg_buffer_memory(8, 16, 4096, False)
+        t2n = dxchg_buffer_memory(8, 16, 4096, True)
+        assert t2t == 16 * t2n
+
+
+class TestFabricSend:
+    def test_exact_multiple_rounds_to_count(self, fabric):
+        fabric.send("a", "b", 3 * MSG)
+        assert fabric.messages_by_link[("a", "b")] == 3
+        assert fabric.bytes_by_link[("a", "b")] == 3 * MSG
+
+    def test_remainder_rounds_up(self, fabric):
+        fabric.send("a", "b", 3 * MSG + 1)
+        assert fabric.messages_by_link[("a", "b")] == 4
+
+    def test_small_payload_is_one_message(self, fabric):
+        fabric.send("a", "b", 1)
+        assert fabric.messages_by_link[("a", "b")] == 1
+
+    def test_zero_bytes_sends_nothing(self, fabric):
+        fabric.send("a", "b", 0)
+        assert fabric.total_bytes == 0
+        assert fabric.total_messages == 0
+
+    def test_local_send_is_pointer_pass(self, fabric):
+        fabric.send("a", "a", 5 * MSG)
+        assert fabric.local_bytes == 5 * MSG
+        assert fabric.total_bytes == 0
+        assert fabric.total_messages == 0
+
+    def test_send_message_is_one_message_per_call(self, fabric):
+        fabric.send_message("a", "b", 3 * MSG)  # one jumbo payload
+        fabric.send_message("a", "b", 1)  # one nearly-empty message
+        assert fabric.messages_by_link[("a", "b")] == 2
+        assert fabric.bytes_by_link[("a", "b")] == 3 * MSG + 1
+
+
+class TestDXchgChannel:
+    def test_accumulates_until_full_then_flushes(self, fabric):
+        chan = DXchgChannel(fabric, "a", "b")
+        chan.push(MSG - 1)
+        assert chan.buffered == MSG - 1
+        assert fabric.total_messages == 0  # nothing on the wire yet
+        chan.push(1)
+        assert chan.buffered == 0
+        assert fabric.total_messages == 1
+        assert fabric.bytes_by_link[("a", "b")] == MSG
+
+    def test_close_flushes_partial_message(self, fabric):
+        chan = DXchgChannel(fabric, "a", "b")
+        chan.push(MSG // 2)
+        chan.close()
+        assert chan.buffered == 0
+        assert fabric.messages_by_link[("a", "b")] == 1
+        assert fabric.bytes_by_link[("a", "b")] == MSG // 2
+
+    def test_message_count_matches_one_shot_rounding(self, fabric):
+        # streaming many small pushes must cost exactly as many messages
+        # as a materializing sender shipping the total at once
+        total = 0
+        chan = DXchgChannel(fabric, "a", "b")
+        for i in range(100):
+            n = 37 * (i % 7 + 1)
+            chan.push(n)
+            total += n
+        chan.close()
+        expected = -(-total // MSG)  # ceil
+        assert chan.messages_sent == expected
+        assert fabric.messages_by_link[("a", "b")] == expected
+        assert fabric.bytes_by_link[("a", "b")] == total
+
+    def test_local_channel_never_buffers(self, fabric):
+        chan = DXchgChannel(fabric, "a", "a")
+        chan.push(10 * MSG)
+        assert chan.buffered == 0
+        assert chan.peak_buffered == 0
+        assert chan.capacity_bytes == 0
+        assert fabric.local_bytes == 10 * MSG
+        assert fabric.total_messages == 0
+
+    def test_peak_buffered_tracks_high_water_mark(self, fabric):
+        chan = DXchgChannel(fabric, "a", "b")
+        chan.push(MSG - 1)
+        chan.push(MSG - 1)  # peaks at 2*MSG-2, then flushes one message
+        assert chan.peak_buffered == 2 * MSG - 2
+        assert chan.buffered == MSG - 2
+
+    def test_capacity_is_double_buffered(self, fabric):
+        assert DXchgChannel(fabric, "a", "b").capacity_bytes == 2 * MSG
+        assert DXchgChannel(fabric, "a", "b",
+                            n_lanes=4).capacity_bytes == 8 * MSG
+
+    def test_multi_lane_ships_more_partial_messages(self, fabric):
+        # thread-to-thread fanout: the same bytes spread over more open
+        # buffers produce emptier end-of-stream messages
+        one = DXchgChannel(fabric, "a", "b", n_lanes=1)
+        one.push(MSG * 2)
+        one.close()
+        many = DXchgChannel(fabric, "a", "c", n_lanes=8)
+        many.push(MSG * 2)
+        many.close()
+        assert one.messages_sent == 2
+        assert many.messages_sent == 8  # one partial flush per lane
+        assert fabric.bytes_by_link[("a", "b")] == \
+            fabric.bytes_by_link[("a", "c")] == 2 * MSG
+
+    def test_push_after_close_raises(self, fabric):
+        chan = DXchgChannel(fabric, "a", "b")
+        chan.close()
+        with pytest.raises(RuntimeError):
+            chan.push(1)
+
+    def test_close_is_idempotent(self, fabric):
+        chan = DXchgChannel(fabric, "a", "b")
+        chan.push(1)
+        chan.close()
+        chan.close()
+        assert fabric.messages_by_link[("a", "b")] == 1
