@@ -1,0 +1,70 @@
+"""Observability smoke run: trace one TPC-H Q1, dump trace + metrics.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_obs.py [outdir]
+
+Loads a small TPC-H database (``REPRO_SF``, default 0.002), runs Q1 with
+``trace=True`` and writes two artifacts (CI uploads both):
+
+* ``q1_trace.json``    -- Chrome-trace JSON, loadable in Perfetto /
+  ``chrome://tracing``
+* ``metrics.prom``     -- the full Prometheus text exposition of the
+  cluster registry after the run
+
+The span tree is also printed so the smoke log shows the lifecycle
+(parse -> bind -> rewrite -> assignment -> execute -> commit) at a
+glance.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+
+from repro.common.config import Config
+from repro.cluster import VectorHCluster
+from repro.sql import execute_sql
+from repro.tpch import generate_tpch, tpch_schemas
+from repro.tpch.queries import q1
+from repro.tpch.schema import LOAD_ORDER
+
+
+def main(outdir: str) -> None:
+    scale = float(os.environ.get("REPRO_SF", "0.002"))
+    cluster = VectorHCluster(n_nodes=4, config=Config().scaled_for_tests())
+    data = generate_tpch(scale, seed=42)
+    schemas = tpch_schemas(n_partitions=6)
+    for name in LOAD_ORDER:
+        cluster.create_table(schemas[name])
+        cluster.bulk_load(name, data[name])
+
+    # one SQL statement first, so the trace ring shows parse/bind spans
+    execute_sql(cluster, "SELECT count(*) AS n FROM lineitem")
+    sql_trace = cluster.tracer.last_trace
+
+    traces = {}
+
+    def run(plan):
+        res = cluster.query(plan, trace=True)
+        traces["q1"] = res.trace
+        return res.batch
+
+    q1(run)
+    trace = traces["q1"]
+
+    out = pathlib.Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "q1_trace.json").write_text(trace.chrome_trace_json(indent=1))
+    (out / "metrics.prom").write_text(cluster.metrics().render())
+
+    print("== SQL statement trace ==")
+    print(sql_trace.tree())
+    print("== Q1 trace ==")
+    print(trace.tree())
+    print(f"\nwrote {out / 'q1_trace.json'} and {out / 'metrics.prom'}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "benchmarks/results/obs")

@@ -11,6 +11,7 @@ Entry points:
 
 * :class:`repro.cluster.VectorHCluster` -- the system facade
 * :func:`repro.sql.execute_sql` -- run SQL against a cluster
+* :mod:`repro.obs` -- cluster-wide metrics registry + lifecycle tracing
 * :mod:`repro.tpch` -- dbgen + the 22 queries + refresh functions
 * :mod:`repro.baselines` -- the competitor systems of the evaluation
 """
@@ -18,5 +19,6 @@ Entry points:
 __version__ = "1.0.0"
 
 from repro.cluster import VectorHCluster
+from repro.obs import MetricsRegistry, Tracer
 
-__all__ = ["VectorHCluster", "__version__"]
+__all__ = ["VectorHCluster", "MetricsRegistry", "Tracer", "__version__"]

@@ -19,9 +19,8 @@ Both formats follow the paper's characterization (sections 2-3):
 from __future__ import annotations
 
 import pickle
-import struct
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np

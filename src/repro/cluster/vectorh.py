@@ -15,7 +15,6 @@ import numpy as np
 
 from repro.common.config import Config, DEFAULT_CONFIG
 from repro.common.errors import ReproError, StorageError
-from repro.engine.batch import Batch
 from repro.engine.expressions import Expr
 from repro.flow.assignment import affinity_map, responsibility_assignment
 from repro.hdfs.cluster import HdfsCluster
@@ -24,6 +23,7 @@ from repro.mpp.executor import MppExecutor, QueryResult
 from repro.mpp.logical import LogicalPlan
 from repro.mpp.rewriter import ParallelRewriter, RewriterFlags
 from repro.net.mpi import MpiFabric
+from repro.obs import MetricsRegistry, SimClock, Tracer
 from repro.pdt.stack import PdtStack
 from repro.storage.buffer import BufferPool
 from repro.storage.schema import TableSchema
@@ -63,9 +63,16 @@ class VectorHCluster:
         names = node_names or [f"node{i + 1}" for i in range(n_nodes)]
         self.db_path = db_path
 
+        # one observability plane for every subsystem below
+        self.registry = MetricsRegistry()
+        self.sim_clock = SimClock()
+        self.tracer = Tracer(sim_clock=self.sim_clock)
+
         self.placement = VectorHPlacementPolicy()
-        self.hdfs = HdfsCluster(names, self.config, self.placement)
-        self.rm = ResourceManager(yarn_queues or {"default": 5, "prod": 8})
+        self.hdfs = HdfsCluster(names, self.config, self.placement,
+                                registry=self.registry)
+        self.rm = ResourceManager(yarn_queues or {"default": 5, "prod": 8},
+                                  registry=self.registry)
         for name in names:
             self.rm.register_node(
                 name, self.config.cores_per_node, self.config.memory_per_node_mb
@@ -80,14 +87,16 @@ class VectorHCluster:
         )
         self.session_master: str = self.workers[0]
 
-        self.mpi = MpiFabric(self.config.mpi_message_size)
+        self.mpi = MpiFabric(self.config.mpi_message_size,
+                             registry=self.registry)
         self._pools: Dict[str, BufferPool] = {
-            name: BufferPool(self.hdfs) for name in names
+            name: BufferPool(self.hdfs, registry=self.registry, node=name)
+            for name in names
         }
         self.tables: Dict[str, StoredTable] = {}
         self._indexes: Dict[Tuple[str, str], object] = {}
         self._responsibility: Dict[Tuple[str, int], str] = {}
-        self.wal = WalManager(self.hdfs, db_path)
+        self.wal = WalManager(self.hdfs, db_path, registry=self.registry)
         self.txn = TransactionManager(self)
         self.executor = MppExecutor(self)
 
@@ -157,7 +166,6 @@ class VectorHCluster:
         stored = self.tables[table]
         scale = stored._decimal_scale(column)
         probe = int(round(value * scale)) if scale is not None else value
-        node = self.session_master
         # lookups run per partition at the responsible node
         out = {c: [] for c in columns}
         for pid in range(stored.n_partitions):
@@ -202,17 +210,40 @@ class VectorHCluster:
               flags: Optional[RewriterFlags] = None,
               trans: Optional[DistributedTransaction] = None,
               exchange_mode: str = "streaming",
-              thread_to_node: bool = True) -> QueryResult:
+              thread_to_node: bool = True,
+              trace: bool = False) -> QueryResult:
         """Optimize and execute a logical plan; returns the result batch
         plus execution statistics (network, IO, memory, profile).
 
         ``exchange_mode``/``thread_to_node`` tune the DXchg layer: see
-        :meth:`repro.mpp.executor.MppExecutor.execute`.
+        :meth:`repro.mpp.executor.MppExecutor.execute`. With ``trace``
+        the result carries the lifecycle span tree
+        (rewrite -> assignment -> execute -> commit, with per-stream
+        operator and exchange spans grafted under execute); the last
+        trace is always available as ``cluster.tracer.last_trace``.
         """
-        phys = ParallelRewriter(self, flags).rewrite(plan)
-        return self.executor.execute(phys, trans=trans,
-                                     exchange_mode=exchange_mode,
-                                     thread_to_node=thread_to_node)
+        with self.tracer.span("query") as root:
+            with self.tracer.span("rewrite"):
+                phys = ParallelRewriter(self, flags).rewrite(plan)
+            with self.tracer.span("assignment") as aspan:
+                from repro.mpp.logical import LScan
+                scans = [n for n in plan.walk() if isinstance(n, LScan)]
+                tables = sorted({s.table for s in scans})
+                aspan.attrs["tables"] = ",".join(tables) or "-"
+                aspan.attrs["partitions"] = sum(
+                    self.tables[t].n_partitions for t in tables
+                )
+            result = self.executor.execute(phys, trans=trans,
+                                           exchange_mode=exchange_mode,
+                                           thread_to_node=thread_to_node)
+            with self.tracer.span("commit", implicit=trans is None):
+                # read-only statements end with an (empty) implicit
+                # commit releasing the snapshot; DML commits run the
+                # real 2PC under their own commit span via the manager
+                pass
+        if trace:
+            result.trace = root
+        return result
 
     def explain(self, plan: LogicalPlan,
                 flags: Optional[RewriterFlags] = None) -> str:
@@ -522,7 +553,9 @@ class VectorHCluster:
                                   self.config.memory_per_node_mb)
         if name not in self.dbagent.viable_machines:
             self.dbagent.viable_machines.append(name)
-        self._pools.setdefault(name, BufferPool(self.hdfs))
+        self._pools.setdefault(
+            name, BufferPool(self.hdfs, registry=self.registry, node=name)
+        )
         self.workers = self.dbagent.negotiate_worker_set(
             len(self.workers) + 1, self.db_path + "/"
         )
@@ -619,6 +652,13 @@ class VectorHCluster:
 
     # ----------------------------------------------------------------- statistics
 
+    def metrics(self) -> MetricsRegistry:
+        """The cluster-wide metrics registry: one coherent snapshot of
+        every subsystem (``metrics().snapshot()``), resettable
+        (``metrics().reset()``), Prometheus-renderable
+        (``metrics().render()``)."""
+        return self.registry
+
     def locality_report(self) -> Dict[str, float]:
         return {
             "short_circuit_fraction": self.hdfs.locality_fraction(),
@@ -627,10 +667,10 @@ class VectorHCluster:
         }
 
     def reset_io_counters(self) -> None:
-        self.hdfs.reset_counters()
-        self.mpi.reset()
-        for pool in self._pools.values():
-            pool.hits = pool.misses = pool.prefetches = 0
+        """Deprecated shim: resets the hdfs/net/buffer series through the
+        registry (``cluster.metrics().reset()`` clears everything)."""
+        for prefix in ("hdfs_", "net_", "buffer_"):
+            self.registry.reset(prefix)
 
     def clear_buffer_pools(self) -> None:
         for pool in self._pools.values():

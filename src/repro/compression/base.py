@@ -10,7 +10,7 @@ codes branch-free and then patches the (typically few) exception positions.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
 import numpy as np

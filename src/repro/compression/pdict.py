@@ -13,7 +13,6 @@ from collections import Counter
 
 import numpy as np
 
-from repro.common.errors import CompressionError
 from repro.common.types import ColumnType
 from repro.compression import bitpack
 from repro.compression.base import (

@@ -12,7 +12,7 @@ affinity-respecting (solid-arrow) assignments in Figure 6.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.connector.rdd import RddPartition
 from repro.flow.mincost import MinCostFlow

@@ -69,8 +69,11 @@ class StreamScheduler:
     slowest one is on the critical path.
     """
 
-    def __init__(self):
+    def __init__(self, clock=None):
         self.sim_seconds = 0.0
+        #: optional cluster-wide :class:`repro.obs.SimClock`, advanced in
+        #: lockstep so tracer spans can read simulated time live
+        self.clock = clock
         self._nested = [0.0]
 
     def advance(self, iterator) -> Tuple[object, float]:
@@ -90,7 +93,10 @@ class StreamScheduler:
     def charge_round(self, self_times: Iterable[float]) -> None:
         times = list(self_times)
         if times:
-            self.sim_seconds += max(times)
+            dt = max(times)
+            self.sim_seconds += dt
+            if self.clock is not None:
+                self.clock.advance(dt)
 
 
 #: route(src_stream, batch) -> [(dest_stream, piece), ...]
@@ -116,8 +122,10 @@ class Exchange:
                  meter: Optional[MemoryMeter] = None,
                  mode: str = STREAMING,
                  message_size: Optional[int] = None,
-                 n_lanes: int = 1):
+                 n_lanes: int = 1,
+                 registry=None):
         self.label = label
+        self.registry = registry
         self.fabric = fabric
         self.route = route
         self.dest_streams = list(dest_streams)
@@ -287,6 +295,33 @@ class Exchange:
             if released > 0 and not chan.local:
                 self.meter.release(chan.src, released)
         self.finished = True
+        self._record_metrics()
+
+    def _record_metrics(self) -> None:
+        """Charge this exchange's lifetime totals and high-water marks to
+        the registry (one series per exchange label)."""
+        if self.registry is None:
+            return
+        reg = self.registry
+        labels = {"exchange": self.label}
+        reg.counter("exchange_bytes_total",
+                    "Payload bytes routed through DXchg operators",
+                    labels=("exchange",)).inc(self.bytes_sent, **labels)
+        reg.counter("exchange_local_bytes_total",
+                    "DXchg bytes that stayed intra-node (pointer passes)",
+                    labels=("exchange",)).inc(self.local_bytes, **labels)
+        reg.counter("exchange_messages_total",
+                    "Whole MPI messages flushed by DXchg channels",
+                    labels=("exchange",)).inc(self.messages_sent, **labels)
+        reg.counter("exchange_tuples_total",
+                    "Tuples routed through DXchg operators",
+                    labels=("exchange",)).inc(self.tuples_sent, **labels)
+        reg.gauge("exchange_peak_buffered_bytes",
+                  "High-water mark of sender channel buffer occupancy",
+                  labels=("exchange",)).set_max(self.peak_buffered, **labels)
+        reg.gauge("exchange_peak_queued_bytes",
+                  "High-water mark of receive-queue occupancy",
+                  labels=("exchange",)).set_max(self.peak_queued, **labels)
 
     # ------------------------------------------------------------ stats
 
@@ -311,9 +346,7 @@ class Exchange:
             if prof is None:
                 continue
             if merged is None:
-                merged = prof
-                if not merged.stream_times:
-                    merged.stream_times.append(merged.cum_time)
+                merged = prof  # merge_stream seeds stream_times itself
             else:
                 merged.merge_stream(prof)
         if merged is not None:

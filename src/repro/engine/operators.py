@@ -9,7 +9,7 @@ can be rendered like the paper's appendix profile.
 from __future__ import annotations
 
 import time as _time
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -32,14 +32,29 @@ class ProfileNode:
 
     def merge_stream(self, other: "ProfileNode") -> None:
         """Fold another stream's profile of the same operator into this one."""
+        if not self.stream_times:
+            # seed with this node's own stream before folding others in,
+            # so ranges and stream counts include the first stream too
+            self.stream_times.append(self.cum_time)
         self.cum_time = max(self.cum_time, other.cum_time)
         self.tuples_in += other.tuples_in
         self.tuples_out += other.tuples_out
         self.net_bytes += other.net_bytes
         self.net_messages += other.net_messages
         self.stream_times.append(other.cum_time)
-        for mine, theirs in zip(self.children, other.children):
-            mine.merge_stream(theirs)
+        if len(self.children) == len(other.children):
+            for mine, theirs in zip(self.children, other.children):
+                mine.merge_stream(theirs)
+            return
+        # mismatched child counts (a stream's subtree produced no profile
+        # for some child): align by label, adopt the leftovers
+        unmatched = list(other.children)
+        for mine in self.children:
+            for i, theirs in enumerate(unmatched):
+                if theirs.label == mine.label:
+                    mine.merge_stream(unmatched.pop(i))
+                    break
+        self.children.extend(unmatched)
 
 
 def format_profile(node: ProfileNode, total_time: Optional[float] = None,

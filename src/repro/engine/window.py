@@ -14,7 +14,7 @@ aggregates ``sum``, ``avg``, ``min``, ``max``, ``count``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -76,7 +76,6 @@ class Window(Operator):
         group_ids = np.zeros(data.n, dtype=np.int64)
         group_ids[starts[1:]] = 1
         group_ids = np.cumsum(group_ids)
-        n_groups = len(starts)
         group_sizes = np.diff(np.append(starts, data.n))
 
         for name, func, expr in self.functions:
@@ -139,8 +138,7 @@ def _ranks(cols, window, group_ids, starts, n, dense):
         dense_counter = np.cumsum(new_value)
         base = dense_counter[starts]
         return dense_counter - base[group_ids] + 1
-    position = np.arange(n) - starts[group_ids]
-    # rank = position (1-based) of the first row with an equal key
+    # rank = 1-based position of the first row with an equal key
     first_of_run = np.maximum.accumulate(
         np.where(new_value, np.arange(n), -1)
     )

@@ -16,25 +16,69 @@ from typing import Dict, List, Optional
 from repro.common.config import Config, DEFAULT_CONFIG
 from repro.common.errors import HdfsError
 from repro.hdfs.placement import BlockPlacementPolicy, DefaultPlacementPolicy
+from repro.obs import MetricsRegistry
 
 
-@dataclass
+def _series_property(family_attr: str, **fixed_labels):
+    """A DataNode attribute that is a view over one registry series."""
+
+    def getter(self):
+        family = getattr(self, family_attr)
+        return int(family.get(node=self.name, **fixed_labels))
+
+    def setter(self, value):
+        family = getattr(self, family_attr)
+        family.set(value, node=self.name, **fixed_labels)
+
+    return property(getter, setter)
+
+
 class DataNode:
-    """A datanode: alive flag plus IO accounting."""
+    """A datanode: alive flag plus registry-backed IO accounting.
 
-    name: str
-    alive: bool = True
-    bytes_stored: int = 0
-    bytes_read_local: int = 0  # short-circuit reads
-    bytes_read_remote: int = 0  # served to a non-local reader
-    bytes_written: int = 0
-    bytes_rereplicated: int = 0
+    The byte counters live in the cluster's :class:`MetricsRegistry`
+    (``hdfs_read_bytes_total{node=...,mode=...}`` etc.); the attribute
+    API (``bytes_read_local`` and friends) is a view over those series so
+    existing callers keep working.
+    """
+
+    def __init__(self, name: str, registry: Optional[MetricsRegistry] = None,
+                 alive: bool = True):
+        self.name = name
+        self.alive = alive
+        self.registry = registry or MetricsRegistry()
+        self._reads = self.registry.counter(
+            "hdfs_read_bytes_total",
+            "Bytes read from HDFS, short-circuit (local) vs remote",
+            labels=("node", "mode"),
+        )
+        self._writes = self.registry.counter(
+            "hdfs_written_bytes_total", "Bytes written to HDFS replicas",
+            labels=("node",),
+        )
+        self._rereplicated = self.registry.counter(
+            "hdfs_rereplicated_bytes_total",
+            "Bytes copied by re-replication and rebalancing",
+            labels=("node",),
+        )
+        self._stored = self.registry.gauge(
+            "hdfs_bytes_stored", "Replica bytes currently stored",
+            labels=("node",), sticky=True,
+        )
+
+    bytes_read_local = _series_property("_reads", mode="short_circuit")
+    bytes_read_remote = _series_property("_reads", mode="remote")
+    bytes_written = _series_property("_writes")
+    bytes_rereplicated = _series_property("_rereplicated")
+    bytes_stored = _series_property("_stored")
 
     def reset_counters(self) -> None:
-        self.bytes_read_local = 0
-        self.bytes_read_remote = 0
-        self.bytes_written = 0
-        self.bytes_rereplicated = 0
+        """Deprecated: reset this node's series via the shared registry
+        (``registry.reset("hdfs_")`` resets every node at once)."""
+        for mode in ("short_circuit", "remote"):
+            self._reads.remove(node=self.name, mode=mode)
+        self._writes.remove(node=self.name)
+        self._rereplicated.remove(node=self.name)
 
 
 @dataclass
@@ -59,14 +103,20 @@ class HdfsCluster:
         node_names: List[str],
         config: Config = DEFAULT_CONFIG,
         placement_policy: Optional[BlockPlacementPolicy] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.config = config
+        self.registry = registry or MetricsRegistry()
         self.nodes: Dict[str, DataNode] = {
-            name: DataNode(name) for name in node_names
+            name: DataNode(name, self.registry) for name in node_names
         }
         self.files: Dict[str, HdfsFile] = {}
         self.placement_policy = placement_policy or DefaultPlacementPolicy(
             seed=config.seed
+        )
+        self._rereplication_events = self.registry.counter(
+            "hdfs_rereplication_events_total",
+            "Files that received a new replica after failures/rebalancing",
         )
 
     # -- namespace -----------------------------------------------------------
@@ -189,7 +239,7 @@ class HdfsCluster:
     def add_node(self, name: str) -> None:
         if name in self.nodes and self.nodes[name].alive:
             raise HdfsError(f"node already present: {name}")
-        self.nodes[name] = DataNode(name)
+        self.nodes[name] = DataNode(name, self.registry)
 
     def rereplicate(self) -> int:
         """Bring every file back to its replication degree."""
@@ -210,6 +260,8 @@ class HdfsCluster:
                 self.nodes[target].bytes_rereplicated += f.size
             f.replicas = live
             repaired += 1
+        if repaired:
+            self._rereplication_events.inc(repaired)
         return repaired
 
     def rebalance(self) -> int:
@@ -237,6 +289,8 @@ class HdfsCluster:
                     self.nodes[holder].bytes_stored -= f.size
             f.replicas = list(desired)
             moved += 1
+        if moved:
+            self._rereplication_events.inc(moved)
         return moved
 
     # -- statistics ------------------------------------------------------------
@@ -253,5 +307,6 @@ class HdfsCluster:
                    for n in self.nodes.values())
 
     def reset_counters(self) -> None:
-        for node in self.nodes.values():
-            node.reset_counters()
+        """Deprecated shim: resets the hdfs_* counter series in the
+        shared registry (``registry.reset("hdfs_")`` is the new path)."""
+        self.registry.reset("hdfs_")

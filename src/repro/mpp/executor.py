@@ -37,7 +37,6 @@ from repro.engine.batch import (
 from repro.engine.exchange import (
     DONE,
     Exchange,
-    MATERIALIZE,
     MemoryMeter,
     STREAMING,
     StreamScheduler,
@@ -55,6 +54,7 @@ from repro.engine.operators import (
 )
 from repro.engine.profile import ProfileNode, format_profile
 from repro.mpp import plan as P
+from repro.obs import NULL_TRACER, Span, span_from_profile
 
 MASTER_STREAM = "__master__"
 
@@ -78,6 +78,8 @@ class QueryResult:
     #: per-exchange statistics dicts (label, bytes, messages, tuples,
     #: peak_buffered_bytes, peak_queued_bytes, buffer_capacity_bytes)
     exchanges: List[Dict[str, object]] = field(default_factory=list)
+    #: lifecycle span tree (set when the query ran with ``trace=True``)
+    trace: Optional[Span] = None
 
     def format_profile(self) -> str:
         return "\n".join(format_profile(p) for p in self.profiles)
@@ -144,12 +146,13 @@ class _RunContext:
     root keeps them alive for the duration, so no id reuse is possible.
     """
 
-    def __init__(self, trans, mode: str, n_lanes: int, vector_size: int):
+    def __init__(self, trans, mode: str, n_lanes: int, vector_size: int,
+                 clock=None):
         self.trans = trans
         self.mode = mode
         self.n_lanes = n_lanes
         self.vector_size = vector_size
-        self.scheduler = StreamScheduler()
+        self.scheduler = StreamScheduler(clock)
         self.meter = MemoryMeter()
         self.exchanges: Dict[P.PhysNode, Exchange] = {}
         self.exchange_order: List[Exchange] = []
@@ -281,36 +284,50 @@ class MppExecutor:
         destination *core* (``n_lanes = cores_per_node``).
         """
         cluster = self.cluster
+        tracer = getattr(cluster, "tracer", None) or NULL_TRACER
         ctx = _RunContext(
             trans=trans, mode=exchange_mode,
             n_lanes=1 if thread_to_node else cluster.config.cores_per_node,
             vector_size=cluster.config.vector_size,
+            clock=getattr(cluster, "sim_clock", None),
         )
         mpi = cluster.mpi
         net0_bytes, net0_msgs = mpi.total_bytes, mpi.total_messages
         read0 = cluster.hdfs.total_bytes_read()
         start = _time.perf_counter()
 
-        top = root
-        if top.distribution.kind == P.PARTITIONED:
-            # final gather at the session master (normally the rewriter
-            # inserts this; raw physical plans get it implicitly)
-            top = P.DXUnion(top)
-        op = self._build_op(top, MASTER_STREAM, ctx)
+        with tracer.span("execute", mode=exchange_mode) as exec_span:
+            with tracer.span("build"):
+                top = root
+                if top.distribution.kind == P.PARTITIONED:
+                    # final gather at the session master (normally the
+                    # rewriter inserts this; raw plans get it implicitly)
+                    top = P.DXUnion(top)
+                op = self._build_op(top, MASTER_STREAM, ctx)
 
-        batches: List[Batch] = []
-        iterator = op.execute()
-        while True:
-            item, dt = ctx.scheduler.advance(iterator)
-            ctx.scheduler.charge_round([dt])
-            if item is DONE:
-                break
-            batches.append(item)
-        # a Limit/TopN root may abandon receivers mid-stream: close any
-        # remaining channels so partial buffers are flushed and accounted
-        for ex in ctx.exchange_order:
-            ex._finish()
+            batches: List[Batch] = []
+            with tracer.span("schedule"):
+                iterator = op.execute()
+                while True:
+                    item, dt = ctx.scheduler.advance(iterator)
+                    ctx.scheduler.charge_round([dt])
+                    if item is DONE:
+                        break
+                    batches.append(item)
+            # a Limit/TopN root may abandon receivers mid-stream: close
+            # remaining channels so partial buffers are flushed/accounted
+            with tracer.span("exchange.flush",
+                             exchanges=len(ctx.exchange_order)):
+                for ex in ctx.exchange_order:
+                    ex._finish()
         elapsed = _time.perf_counter() - start
+
+        profiles = self._assemble_profiles(op, ctx)
+        # the trace subsumes format_profile: per-stream operator work and
+        # exchange send/recv appear as spans under the execute span
+        for prof in profiles:
+            span_from_profile(prof, exec_span)
+        self._record_metrics(ctx)
 
         return QueryResult(
             batch=concat_batches(batches),
@@ -319,11 +336,38 @@ class MppExecutor:
             network_bytes=mpi.total_bytes - net0_bytes,
             network_messages=mpi.total_messages - net0_msgs,
             bytes_read=cluster.hdfs.total_bytes_read() - read0,
-            profiles=self._assemble_profiles(op, ctx),
+            profiles=profiles,
             plan_text=root.pretty(),
             peak_node_memory=ctx.meter.peak_by_node(),
             exchanges=[ex.stats() for ex in ctx.exchange_order],
         )
+
+    def _record_metrics(self, ctx: "_RunContext") -> None:
+        """Charge per-node stream times and peak memory to the registry."""
+        registry = getattr(self.cluster, "registry", None)
+        if registry is None:
+            return
+        registry.counter(
+            "executor_queries_total", "Physical plans executed"
+        ).inc()
+        peaks = registry.gauge(
+            "executor_peak_memory_bytes",
+            "High-water mark of measured per-node resident bytes",
+            labels=("node",),
+        )
+        for node, peak in ctx.meter.peak_by_node().items():
+            peaks.set_max(peak, node=node)
+        streams = registry.histogram(
+            "executor_stream_seconds",
+            "Wall seconds each sender stream spent per exchange fragment",
+            labels=("node",),
+        )
+        for ex in ctx.exchange_order:
+            for state in ex.senders:
+                prof = state.op.profile
+                if prof is not None:
+                    streams.observe(prof.cum_time,
+                                    node=self._node_of(state.stream))
 
     # ---------------------------------------------------------------- streams
 
@@ -468,6 +512,7 @@ class MppExecutor:
             phys.describe(), self.cluster.mpi, route, dests,
             self._node_of, ctx.scheduler, meter=ctx.meter,
             mode=ctx.mode, n_lanes=ctx.n_lanes,
+            registry=getattr(self.cluster, "registry", None),
         )
 
     def _split_destinations(self, phys: P.DXHashSplit, workers: List[str]):

@@ -13,7 +13,7 @@ Exchange nodes are the only places data moves between distributions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.expressions import Expr

@@ -3,19 +3,21 @@
 The real system sends fixed-size (>=256KB) MPI messages with double
 buffering so communication overlaps processing, and passes pointers instead
 of messages for intra-node traffic. :class:`MpiFabric` accounts every
-transfer (per-link bytes and message counts, zero-copy local transfers);
-:class:`DXchgChannel` models one sender's outgoing buffer towards one
-destination: batch bytes accumulate in open buffers and whole
-``message_size`` messages are flushed as soon as a buffer fills, with a
-partial flush at end-of-stream -- so exchange memory is *measured* from
-live buffer occupancy rather than derived from the ``2*N*C`` /
-``2*N*C^2`` formula alone.
+transfer through the metrics registry (per-link bytes, message counts and
+floor padding -- the slack in message slots that ship less than a full
+payload -- plus zero-copy local transfers); :class:`DXchgChannel` models
+one sender's outgoing buffer towards one destination: batch bytes
+accumulate in open buffers and whole ``message_size`` messages are flushed
+as soon as a buffer fills, with a partial flush at end-of-stream -- so
+exchange memory is *measured* from live buffer occupancy rather than
+derived from the ``2*N*C`` / ``2*N*C^2`` formula alone.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Tuple
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.obs import MetricsRegistry
 
 
 def dxchg_buffer_memory(n_nodes: int, n_cores: int, message_size: int,
@@ -34,14 +36,58 @@ def dxchg_buffer_memory(n_nodes: int, n_cores: int, message_size: int,
     return 2 * n_nodes * n_cores * n_cores * message_size
 
 
-class MpiFabric:
-    """Counts traffic between named nodes."""
+class _LinkView(Mapping):
+    """Dict-like view over a per-link counter family.
 
-    def __init__(self, message_size: int = 256 * 1024):
+    Behaves like the ``defaultdict(int)`` it replaces: indexing an
+    unknown ``(src, dst)`` link yields 0, iteration covers every link
+    that has been charged since the last reset.
+    """
+
+    def __init__(self, family):
+        self._family = family
+
+    def __getitem__(self, key: Tuple[str, str]) -> int:
+        src, dst = key
+        return int(self._family.get(src=src, dst=dst))
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._family.series())
+
+    def __len__(self) -> int:
+        return len(self._family.series())
+
+    def __repr__(self) -> str:
+        return repr(dict(self))
+
+
+class MpiFabric:
+    """Counts traffic between named nodes through the metrics registry."""
+
+    def __init__(self, message_size: int = 256 * 1024,
+                 registry: Optional[MetricsRegistry] = None):
         self.message_size = message_size
-        self.bytes_by_link: Dict[Tuple[str, str], int] = defaultdict(int)
-        self.messages_by_link: Dict[Tuple[str, str], int] = defaultdict(int)
-        self.local_bytes = 0  # intra-node pointer passes (no memcpy)
+        self.registry = registry or MetricsRegistry()
+        self._bytes = self.registry.counter(
+            "net_bytes_total", "Payload bytes on the wire per link",
+            labels=("src", "dst"),
+        )
+        self._messages = self.registry.counter(
+            "net_messages_total", "Whole MPI messages per link",
+            labels=("src", "dst"),
+        )
+        self._padding = self.registry.counter(
+            "net_padding_bytes_total",
+            "Floor padding: message-slot bytes not carrying payload",
+            labels=("src", "dst"),
+        )
+        self._local = self.registry.counter(
+            "net_local_bytes_total",
+            "Intra-node pointer-pass bytes (never on the wire)",
+        )
+        #: live dict-like views kept for existing callers
+        self.bytes_by_link = _LinkView(self._bytes)
+        self.messages_by_link = _LinkView(self._messages)
 
     def send(self, src: str, dst: str, n_bytes: int) -> None:
         """Record a one-shot transfer; intra-node sends are pointer passes.
@@ -54,11 +100,14 @@ class MpiFabric:
         if n_bytes <= 0:
             return
         if src == dst:
-            self.local_bytes += n_bytes
+            self._local.inc(n_bytes)
             return
-        self.bytes_by_link[(src, dst)] += n_bytes
         messages = max(1, -(-n_bytes // self.message_size))
-        self.messages_by_link[(src, dst)] += messages
+        self._bytes.inc(n_bytes, src=src, dst=dst)
+        self._messages.inc(messages, src=src, dst=dst)
+        padding = messages * self.message_size - n_bytes
+        if padding > 0:
+            self._padding.inc(padding, src=src, dst=dst)
 
     def send_message(self, src: str, dst: str, n_bytes: int) -> None:
         """Record one wire message carrying ``n_bytes`` of payload.
@@ -70,29 +119,38 @@ class MpiFabric:
         if n_bytes <= 0:
             return
         if src == dst:
-            self.local_bytes += n_bytes
+            self._local.inc(n_bytes)
             return
-        self.bytes_by_link[(src, dst)] += n_bytes
-        self.messages_by_link[(src, dst)] += 1
+        self._bytes.inc(n_bytes, src=src, dst=dst)
+        self._messages.inc(1, src=src, dst=dst)
+        if n_bytes < self.message_size:
+            self._padding.inc(self.message_size - n_bytes, src=src, dst=dst)
+
+    @property
+    def local_bytes(self) -> int:
+        return int(self._local.total())
 
     @property
     def total_bytes(self) -> int:
-        return sum(self.bytes_by_link.values())
+        return int(self._bytes.total())
 
     @property
     def total_messages(self) -> int:
-        return sum(self.messages_by_link.values())
+        return int(self._messages.total())
+
+    @property
+    def total_padding_bytes(self) -> int:
+        return int(self._padding.total())
 
     def reset(self) -> None:
-        self.bytes_by_link.clear()
-        self.messages_by_link.clear()
-        self.local_bytes = 0
+        self.registry.reset("net_")
 
     def snapshot(self) -> Dict[str, int]:
         return {
             "total_bytes": self.total_bytes,
             "total_messages": self.total_messages,
             "local_bytes": self.local_bytes,
+            "padding_bytes": self.total_padding_bytes,
         }
 
 

@@ -1,0 +1,38 @@
+"""repro.obs: the unified observability layer.
+
+* :class:`MetricsRegistry` -- label-keyed counters/gauges/histograms with
+  ``snapshot()``, ``reset()`` and Prometheus-style ``render()``; every
+  subsystem of a :class:`~repro.cluster.VectorHCluster` charges its
+  accounting here.
+* :class:`Tracer` / :class:`Span` -- nested query-lifecycle spans
+  recording wall time *and* the simulator's charged time, exportable as a
+  text tree or Chrome-trace JSON.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    SimClock,
+    Span,
+    Tracer,
+    span_from_profile,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "SimClock",
+    "Span",
+    "Tracer",
+    "span_from_profile",
+]

@@ -3,12 +3,11 @@
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 import numpy as np
 
 from repro.common.errors import SqlError
-from repro.engine.batch import Batch
 from repro.engine.expressions import (
     Between, Case, Col, Const, Expr, InList, Like, Not,
 )
@@ -202,10 +201,24 @@ class _SelectBinder:
 
 def execute_sql(cluster, text: str, trans=None):
     """Parse and run one SQL statement; returns a Batch (SELECT) or the
-    affected row count (DML)."""
-    stmt = SqlParser(text).parse()
+    affected row count (DML).
+
+    The whole statement runs under an ``sql`` trace span (parse -> bind
+    -> the query/DML lifecycle); fetch it afterwards from
+    ``cluster.tracer.last_trace``.
+    """
+    from repro.obs import NULL_TRACER
+    tracer = getattr(cluster, "tracer", None) or NULL_TRACER
+    with tracer.span("sql", statement=text.strip()[:120]):
+        return _execute_sql(cluster, text, trans, tracer)
+
+
+def _execute_sql(cluster, text: str, trans, tracer):
+    with tracer.span("parse"):
+        stmt = SqlParser(text).parse()
     if isinstance(stmt, ast.SelectStatement):
-        plan = _SelectBinder(cluster, stmt).plan()
+        with tracer.span("bind"):
+            plan = _SelectBinder(cluster, stmt).plan()
         return cluster.query(plan, trans=trans).batch
     if isinstance(stmt, ast.InsertStatement):
         schema = cluster.tables[stmt.table].schema

@@ -2,9 +2,10 @@
 
 Vectorwise's buffer manager prefetches for concurrent scans [Świtakowski
 et al., PVLDB'12]; here we keep an LRU block cache with explicit prefetch
-hints and hit/miss accounting. Only misses touch HDFS (and hence show up in
-locality/IO counters), so benchmarks distinguish cold from hot scans the
-same way the paper's "hot" Figure-1 runs do.
+hints and hit/miss/eviction accounting charged to the metrics registry
+(``buffer_hits_total{node=...}`` and friends). Only misses touch HDFS
+(and hence show up in locality/IO counters), so benchmarks distinguish
+cold from hot scans the same way the paper's "hot" Figure-1 runs do.
 """
 
 from __future__ import annotations
@@ -13,21 +14,59 @@ from collections import OrderedDict
 from typing import Optional, Tuple
 
 from repro.hdfs.cluster import HdfsCluster
+from repro.obs import MetricsRegistry
 
 _Key = Tuple[str, int, int]
+
+
+def _stat_property(counter_attr: str):
+    """A BufferPool attribute that is a view over one registry series."""
+
+    def getter(self):
+        return int(getattr(self, counter_attr).get(node=self.node))
+
+    def setter(self, value):
+        getattr(self, counter_attr).set(value, node=self.node)
+
+    return property(getter, setter)
 
 
 class BufferPool:
     """LRU cache of (path, offset, length) -> bytes."""
 
-    def __init__(self, hdfs: HdfsCluster, capacity_bytes: int = 64 << 20):
+    def __init__(self, hdfs: HdfsCluster, capacity_bytes: int = 64 << 20,
+                 registry: Optional[MetricsRegistry] = None,
+                 node: str = "local"):
         self.hdfs = hdfs
         self.capacity_bytes = capacity_bytes
+        self.node = node
+        self.registry = registry or MetricsRegistry()
         self._cache: "OrderedDict[_Key, bytes]" = OrderedDict()
         self._used = 0
-        self.hits = 0
-        self.misses = 0
-        self.prefetches = 0
+        self._hits = self.registry.counter(
+            "buffer_hits_total", "Buffer pool block hits", labels=("node",)
+        )
+        self._misses = self.registry.counter(
+            "buffer_misses_total", "Buffer pool block misses (HDFS reads)",
+            labels=("node",),
+        )
+        self._prefetches = self.registry.counter(
+            "buffer_prefetches_total", "Blocks warmed ahead of scans",
+            labels=("node",),
+        )
+        self._evictions = self.registry.counter(
+            "buffer_evictions_total", "Blocks evicted by LRU pressure",
+            labels=("node",),
+        )
+        self._used_gauge = self.registry.gauge(
+            "buffer_used_bytes", "Bytes currently cached",
+            labels=("node",), sticky=True,
+        )
+
+    hits = _stat_property("_hits")
+    misses = _stat_property("_misses")
+    prefetches = _stat_property("_prefetches")
+    evictions = _stat_property("_evictions")
 
     def read(self, path: str, offset: int, length: int,
              reader: Optional[str] = None) -> bytes:
@@ -35,9 +74,9 @@ class BufferPool:
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
-            self.hits += 1
+            self._hits.inc(node=self.node)
             return cached
-        self.misses += 1
+        self._misses.inc(node=self.node)
         data = self.hdfs.read(path, offset, length, reader=reader)
         self._insert(key, data)
         return data
@@ -48,7 +87,7 @@ class BufferPool:
         key = (path, offset, length)
         if key in self._cache:
             return
-        self.prefetches += 1
+        self._prefetches.inc(node=self.node)
         data = self.hdfs.read(path, offset, length, reader=reader)
         self._insert(key, data)
 
@@ -56,10 +95,12 @@ class BufferPool:
         stale = [k for k in self._cache if k[0].startswith(path_prefix)]
         for key in stale:
             self._used -= len(self._cache.pop(key))
+        self._used_gauge.set(self._used, node=self.node)
 
     def clear(self) -> None:
         self._cache.clear()
         self._used = 0
+        self._used_gauge.set(0, node=self.node)
 
     def _insert(self, key: _Key, data: bytes) -> None:
         self._cache[key] = data
@@ -67,6 +108,8 @@ class BufferPool:
         while self._used > self.capacity_bytes and self._cache:
             _, evicted = self._cache.popitem(last=False)
             self._used -= len(evicted)
+            self._evictions.inc(node=self.node)
+        self._used_gauge.set(self._used, node=self.node)
 
     @property
     def hit_rate(self) -> float:

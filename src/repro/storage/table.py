@@ -17,17 +17,15 @@ and may buffer small inserts as PDT tail inserts (paper section 6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.common.config import Config
 from repro.common.errors import StorageError
-from repro.common.types import ColumnType
 from repro.hdfs.cluster import HdfsCluster
-from repro.pdt.entries import stable as stable_identity
-from repro.pdt.layer import MergeResult, apply_entries, classify_entries
+from repro.pdt.layer import apply_entries, classify_entries
 from repro.pdt.stack import PdtStack, TransPdt
 from repro.storage.buffer import BufferPool
 from repro.storage.colstore import PartitionStore
@@ -402,7 +400,6 @@ def _remap_entries(entries, ranges, n_stable):
     insert or modify is never skipped, and a delete in a skipped range
     removes a tuple that would not qualify anyway.
     """
-    starts = [r[0] for r in ranges]
     ends = [r[1] for r in ranges]
     offsets = np.cumsum([0] + [e - s for s, e in ranges])
     sub_n = int(offsets[-1])

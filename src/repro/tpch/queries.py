@@ -17,10 +17,23 @@ import numpy as np
 from repro.common.types import date_to_days as d
 from repro.engine.batch import Batch
 from repro.engine.expressions import (
-    Between, Case, Col, Const, ExtractYear, InList, Like, Not, Substr,
+    Between,
+    Case,
+    Col,
+    Const,
+    ExtractYear,
+    InList,
+    Like,
+    Substr,
 )
 from repro.mpp.logical import (
-    LAggr, LJoin, LLimit, LProject, LScan, LSelect, LSort, LTopN,
+    LAggr,
+    LJoin,
+    LProject,
+    LScan,
+    LSelect,
+    LSort,
+    LTopN,
 )
 
 Runner = Callable[[object], Batch]

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.common.types import DATE, DECIMAL, FLOAT64, INT32, INT64, STRING
+from repro.common.types import DATE, DECIMAL, INT64, STRING
 from repro.storage.schema import Column, ForeignKey, TableSchema
 
 

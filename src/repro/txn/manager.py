@@ -14,9 +14,8 @@ from __future__ import annotations
 import itertools
 import pickle
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
-import numpy as np
 
 from repro.common.errors import ConstraintViolation, TransactionAborted
 from repro.pdt.stack import TransPdt
@@ -59,9 +58,40 @@ class TransactionManager:
     def __init__(self, cluster):
         self.cluster = cluster
         self._txn_ids = itertools.count(1)
-        self.commits = 0
-        self.aborts = 0
-        self.log_shipped_bytes = 0
+        registry = getattr(cluster, "registry", None)
+        if registry is None:
+            from repro.obs import MetricsRegistry
+            registry = MetricsRegistry()
+        self.registry = registry
+        self._outcomes = registry.counter(
+            "txn_outcomes_total", "Transactions by final 2PC outcome",
+            labels=("outcome",),
+        )
+        self._prepares = registry.counter(
+            "txn_prepare_votes_total",
+            "2PC prepare votes collected from responsible nodes",
+        )
+        self._shipped = registry.counter(
+            "txn_log_shipped_bytes_total",
+            "Replicated-table log bytes shipped to other workers",
+        )
+
+    @property
+    def commits(self) -> int:
+        return int(self._outcomes.get(outcome="commit"))
+
+    @property
+    def aborts(self) -> int:
+        return int(self._outcomes.get(outcome="abort"))
+
+    @property
+    def log_shipped_bytes(self) -> int:
+        return int(self._shipped.total())
+
+    @property
+    def _tracer(self):
+        from repro.obs import NULL_TRACER
+        return getattr(self.cluster, "tracer", None) or NULL_TRACER
 
     def begin(self) -> DistributedTransaction:
         return DistributedTransaction(next(self._txn_ids), self)
@@ -80,44 +110,53 @@ class TransactionManager:
             txn.finished = True
             return
 
-        # ---- phase 1: prepare -------------------------------------------------
-        for (table, pid), trans in involved:
-            node = cluster.responsible(table, pid)
-            cluster.mpi.send(master, node, _COORDINATION_MESSAGE_BYTES)
-            stack = cluster.tables[table].pdt[pid]
-            conflicts = stack._conflicting_identities(
-                trans.snapshot_version, trans.write_set
-            )
-            if conflicts:
-                self.abort(txn)
-                raise TransactionAborted(
-                    f"write-write conflict on {table} partition {pid}"
-                )
-            cluster.mpi.send(node, master, _COORDINATION_MESSAGE_BYTES)
-        self._check_constraints(txn, involved)
+        tracer = self._tracer
+        with tracer.span("commit", txn=txn.txn_id,
+                         partitions=len(involved)):
+            # ---- phase 1: prepare ---------------------------------------------
+            with tracer.span("txn.prepare"):
+                for (table, pid), trans in involved:
+                    node = cluster.responsible(table, pid)
+                    cluster.mpi.send(master, node,
+                                     _COORDINATION_MESSAGE_BYTES)
+                    stack = cluster.tables[table].pdt[pid]
+                    conflicts = stack._conflicting_identities(
+                        trans.snapshot_version, trans.write_set
+                    )
+                    if conflicts:
+                        self.abort(txn)
+                        raise TransactionAborted(
+                            f"write-write conflict on {table} partition {pid}"
+                        )
+                    cluster.mpi.send(node, master,
+                                     _COORDINATION_MESSAGE_BYTES)
+                    self._prepares.inc()
+                self._check_constraints(txn, involved)
 
-        # ---- phase 2: commit ---------------------------------------------------
-        for (table, pid), trans in involved:
-            node = cluster.responsible(table, pid)
-            cluster.mpi.send(master, node, _COORDINATION_MESSAGE_BYTES)
-            stored = cluster.tables[table]
-            entries = stored.pdt[pid].commit(trans)
-            cluster.wal.log_commit(table, pid, txn.txn_id, entries,
-                                   writer=node)
-            if stored.is_replicated:
-                self._ship_log(table, entries, node)
-        cluster.wal.log_global(
-            "decision",
-            (txn.txn_id, "commit", [key for key, _ in involved]),
-            writer=master,
-        )
+            # ---- phase 2: commit -----------------------------------------------
+            with tracer.span("txn.commit"):
+                for (table, pid), trans in involved:
+                    node = cluster.responsible(table, pid)
+                    cluster.mpi.send(master, node,
+                                     _COORDINATION_MESSAGE_BYTES)
+                    stored = cluster.tables[table]
+                    entries = stored.pdt[pid].commit(trans)
+                    cluster.wal.log_commit(table, pid, txn.txn_id, entries,
+                                           writer=node)
+                    if stored.is_replicated:
+                        self._ship_log(table, entries, node)
+                cluster.wal.log_global(
+                    "decision",
+                    (txn.txn_id, "commit", [key for key, _ in involved]),
+                    writer=master,
+                )
         txn.finished = True
-        self.commits += 1
+        self._outcomes.inc(outcome="commit")
 
     def abort(self, txn: DistributedTransaction) -> None:
         txn.parts.clear()
         txn.finished = True
-        self.aborts += 1
+        self._outcomes.inc(outcome="abort")
 
     # -------------------------------------------------------------- log shipping
 
@@ -133,7 +172,7 @@ class TransactionManager:
         for worker in self.cluster.workers:
             if worker != responsible:
                 self.cluster.mpi.send(responsible, worker, payload)
-                self.log_shipped_bytes += payload
+                self._shipped.inc(payload)
 
     # ------------------------------------------------------------- constraints
 

@@ -44,9 +44,26 @@ class WalRecord:
 class WalManager:
     """Creates, appends and replays WALs for one database."""
 
-    def __init__(self, hdfs: HdfsCluster, db_path: str = "/db"):
+    def __init__(self, hdfs: HdfsCluster, db_path: str = "/db",
+                 registry=None):
         self.hdfs = hdfs
         self.base = f"{db_path.rstrip('/')}/wal"
+        if registry is None:
+            from repro.obs import MetricsRegistry
+            registry = MetricsRegistry()
+        self.registry = registry
+        self._appends = registry.counter(
+            "wal_appends_total", "WAL records appended, by record kind",
+            labels=("kind",),
+        )
+        self._append_bytes = registry.counter(
+            "wal_appended_bytes_total", "WAL bytes appended, by record kind",
+            labels=("kind",),
+        )
+
+    def _account(self, kind: str, n_bytes: int) -> None:
+        self._appends.inc(kind=kind)
+        self._append_bytes.inc(n_bytes, kind=kind)
 
     # -- paths ---------------------------------------------------------------
 
@@ -84,19 +101,22 @@ class WalManager:
         record = WalRecord("commit", (txn_id, entries))
         data = record.to_bytes()
         self.hdfs.append(self.partition_wal_path(table, pid), data, writer)
+        self._account("commit", len(data))
         return len(data)
 
     def log_minmax(self, table: str, pid: int, minmax_record: dict,
                    writer: Optional[str] = None) -> None:
         record = WalRecord("minmax", minmax_record)
-        self.hdfs.append(self.partition_wal_path(table, pid),
-                         record.to_bytes(), writer)
+        data = record.to_bytes()
+        self.hdfs.append(self.partition_wal_path(table, pid), data, writer)
+        self._account("minmax", len(data))
 
     def log_global(self, kind: str, payload,
                    writer: Optional[str] = None) -> None:
         self.ensure_global_wal(writer)
-        self.hdfs.append(self.global_wal_path,
-                         WalRecord(kind, payload).to_bytes(), writer)
+        data = WalRecord(kind, payload).to_bytes()
+        self.hdfs.append(self.global_wal_path, data, writer)
+        self._account(kind, len(data))
 
     # -- replay ----------------------------------------------------------------------
 

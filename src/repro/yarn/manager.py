@@ -34,13 +34,34 @@ class YarnApplication:
 class ResourceManager:
     """Cluster-wide resource arbitration."""
 
-    def __init__(self, queue_priorities: Dict[str, int] | None = None):
+    def __init__(self, queue_priorities: Dict[str, int] | None = None,
+                 registry=None):
         # Higher number = higher priority. "default" sits in the middle.
         self.queue_priorities = queue_priorities or {"default": 5}
         self.node_managers: Dict[str, NodeManager] = {}
         self.applications: Dict[str, YarnApplication] = {}
         self._container_ids = itertools.count(1)
         self._app_ids = itertools.count(1)
+        if registry is None:
+            from repro.obs import MetricsRegistry
+            registry = MetricsRegistry()
+        self.registry = registry
+        self._containers_started = registry.counter(
+            "yarn_containers_started_total",
+            "Containers launched, by queue",
+            labels=("queue",),
+        )
+        self._preemptions = registry.counter(
+            "yarn_preemptions_total",
+            "Containers killed to make room for higher-priority queues",
+        )
+        self._apps_submitted = registry.counter(
+            "yarn_applications_total", "Applications submitted"
+        )
+        self._containers_running = registry.gauge(
+            "yarn_containers_running", "Currently running containers",
+            sticky=True,
+        )
 
     # -- cluster membership ----------------------------------------------------
 
@@ -71,6 +92,7 @@ class ResourceManager:
             on_preempt=on_preempt,
         )
         self.applications[app.app_id] = app
+        self._apps_submitted.inc()
         return app
 
     def kill_application(self, app_id: str) -> None:
@@ -101,6 +123,8 @@ class ResourceManager:
         )
         nm.launch(container)
         app.containers.append(container)
+        self._containers_started.inc(queue=app.queue)
+        self._containers_running.inc()
         return container
 
     def release_container(self, container: Container) -> None:
@@ -127,11 +151,14 @@ class ResourceManager:
             if nm.can_fit(cores, memory_mb):
                 break
             self._kill(victim)
+            self._preemptions.inc()
 
     def _kill(self, container: Container, notify: bool = True) -> None:
         nm = self.node_managers.get(container.node)
         if nm is not None and container.container_id in nm.containers:
             nm.kill(container.container_id)
+        if container.running:
+            self._containers_running.dec()
         container.running = False
         app = self.applications.get(container.app_id)
         if app is not None:

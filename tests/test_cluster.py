@@ -5,7 +5,7 @@ import pytest
 
 from repro.common.config import Config
 from repro.common.errors import ReproError, StorageError
-from repro.common.types import INT64, STRING
+from repro.common.types import INT64
 from repro.cluster import VectorHCluster
 from repro.engine.expressions import Col
 from repro.mpp.logical import LAggr, LJoin, LScan

@@ -125,7 +125,6 @@ class TestVwload:
     def test_local_tuning_reduces_remote_bytes(self, cluster):
         paths = write_csv_files(cluster, n_files=4)
         naive = vwload(cluster, "ints", paths)
-        tuned_cluster_config = Config().scaled_for_tests()
         tuned = vwload(cluster, "ints", paths, prefer_local=True)
         assert tuned.bytes_remote <= naive.bytes_remote
         assert tuned.bytes_local >= naive.bytes_local

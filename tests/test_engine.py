@@ -6,7 +6,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.common.errors import ExecutionError
 from repro.engine import (
-    Batch,
     Between,
     Case,
     Col,
@@ -17,7 +16,6 @@ from repro.engine import (
     InList,
     Like,
     MergeJoin,
-    Not,
     Project,
     Select,
     Sort,

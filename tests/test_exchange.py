@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.common.config import Config
-from repro.common.types import INT64, STRING
+from repro.common.types import INT64
 from repro.cluster import VectorHCluster
 from repro.engine.exchange import MATERIALIZE, STREAMING
 from repro.engine.expressions import Col

@@ -6,14 +6,12 @@ import pytest
 from repro.common.config import Config
 from repro.common.types import INT64, STRING
 from repro.cluster import VectorHCluster
-from repro.engine.expressions import Col, Const
+from repro.engine.expressions import Col
 from repro.mpp import (
     DXBroadcast,
     DXHashSplit,
-    DXUnion,
     LAggr,
     LJoin,
-    LProject,
     LScan,
     LSelect,
     LSort,

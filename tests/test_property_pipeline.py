@@ -18,7 +18,7 @@ from repro.common.config import Config
 from repro.common.types import INT64, STRING
 from repro.cluster import VectorHCluster
 from repro.engine.expressions import Between, Col, InList
-from repro.mpp.logical import LAggr, LJoin, LScan, LSelect, LSort, LTopN
+from repro.mpp.logical import LAggr, LJoin, LScan, LSelect, LTopN
 from repro.storage import Column, TableSchema
 
 

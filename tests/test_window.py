@@ -9,7 +9,6 @@ from repro.common.types import INT64, STRING
 from repro.cluster import VectorHCluster
 from repro.engine import Col, Select, VectorSource
 from repro.engine.window import Window
-from repro.mpp import plan as P
 from repro.mpp.logical import LScan, LWindow
 from repro.mpp.rewriter import ParallelRewriter
 from repro.storage import Column, TableSchema
