@@ -1,34 +1,69 @@
-"""Observability smoke run: trace one TPC-H Q1, dump trace + metrics.
+"""Observability smoke run: trace Q1/Q6, dump introspection artifacts.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/smoke_obs.py [outdir]
 
 Loads a small TPC-H database (``REPRO_SF``, default 0.002), runs Q1 with
-``trace=True`` and writes two artifacts (CI uploads both):
+``trace=True`` plus Q6, and writes four artifacts (CI uploads all):
 
 * ``q1_trace.json``    -- Chrome-trace JSON, loadable in Perfetto /
   ``chrome://tracing``
 * ``metrics.prom``     -- the full Prometheus text exposition of the
-  cluster registry after the run
+  cluster registry after the run (re-parsed here as a format check)
+* ``q1_explain.txt``   -- EXPLAIN ANALYZE of the SQL Q1: the physical
+  plan annotated with per-operator actuals
+* ``events.txt``       -- the cluster event log dumped via vh$events
 
 The span tree is also printed so the smoke log shows the lifecycle
 (parse -> bind -> rewrite -> assignment -> execute -> commit) at a
-glance.
+glance, along with MinMax pruning effectiveness for the scans Q1/Q6 did.
 """
 
 from __future__ import annotations
 
 import os
 import pathlib
+import re
 import sys
 
 from repro.common.config import Config
 from repro.cluster import VectorHCluster
 from repro.sql import execute_sql
 from repro.tpch import generate_tpch, tpch_schemas
-from repro.tpch.queries import q1
+from repro.tpch.queries import q1, q6
 from repro.tpch.schema import LOAD_ORDER
+
+Q1_SQL = """
+select l_returnflag, l_linestatus,
+       sum(l_quantity) as sum_qty,
+       sum(l_extendedprice) as sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge,
+       avg(l_quantity) as avg_qty, avg(l_extendedprice) as avg_price,
+       avg(l_discount) as avg_disc, count(*) as count_order
+from lineitem
+where l_shipdate <= date '1998-09-02'
+group by l_returnflag, l_linestatus
+order by l_returnflag, l_linestatus
+"""
+
+_PROM_LINE = re.compile(
+    r"^[A-Za-z_:][A-Za-z0-9_:]*(\{[^}]*\})?\s+[-+0-9.eE]+(\s+\d+)?$"
+)
+
+
+def check_prometheus_exposition(text: str) -> int:
+    """Assert every non-comment line is a valid sample; return the count."""
+    samples = 0
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        assert _PROM_LINE.match(line), f"bad exposition line: {line!r}"
+        float(line.rsplit(None, 1)[-1])
+        samples += 1
+    assert samples > 0, "empty metrics exposition"
+    return samples
 
 
 def main(outdir: str) -> None:
@@ -48,22 +83,55 @@ def main(outdir: str) -> None:
 
     def run(plan):
         res = cluster.query(plan, trace=True)
-        traces["q1"] = res.trace
+        traces.setdefault("q1", res.trace)
         return res.batch
 
     q1(run)
     trace = traces["q1"]
+    q6(lambda plan: cluster.query(plan).batch)
+
+    explain = execute_sql(cluster, "explain analyze " + Q1_SQL)
+    explain_text = "\n".join(str(v) for v in explain.columns["plan"])
+
+    events = execute_sql(
+        cluster, "select seq, sim_time, source, kind, detail from vh$events")
+    event_lines = [
+        f"{int(events.columns['seq'][i]):4d} "
+        f"t={float(events.columns['sim_time'][i]):.6f} "
+        f"{events.columns['source'][i]}/{events.columns['kind'][i]} "
+        f"{events.columns['detail'][i]}"
+        for i in range(events.n)
+    ]
 
     out = pathlib.Path(outdir)
     out.mkdir(parents=True, exist_ok=True)
     (out / "q1_trace.json").write_text(trace.chrome_trace_json(indent=1))
-    (out / "metrics.prom").write_text(cluster.metrics().render())
+    prom = cluster.metrics().render()
+    (out / "metrics.prom").write_text(prom)
+    (out / "q1_explain.txt").write_text(explain_text + "\n")
+    (out / "events.txt").write_text("\n".join(event_lines) + "\n")
+    samples = check_prometheus_exposition(prom)
 
     print("== SQL statement trace ==")
     print(sql_trace.tree())
     print("== Q1 trace ==")
     print(trace.tree())
-    print(f"\nwrote {out / 'q1_trace.json'} and {out / 'metrics.prom'}")
+    print("== Q1 EXPLAIN ANALYZE ==")
+    print(explain_text)
+    print("== cluster event log ==")
+    print("\n".join(event_lines))
+    print("== MinMax pruning (Q1 + Q6 scans) ==")
+    snapshot = cluster.metrics().snapshot()
+    scanned = snapshot.get("minmax_blocks_scanned_total", {})
+    skipped = snapshot.get("minmax_blocks_skipped_total", {})
+    for key in sorted(set(scanned) | set(skipped)):
+        read, cut = scanned.get(key, 0), skipped.get(key, 0)
+        total = read + cut
+        pct = 0.0 if total == 0 else 100.0 * cut / total
+        print(f"  {key[0]}: scanned={int(read)} skipped={int(cut)} "
+              f"({pct:.1f}% pruned)")
+    print(f"\nmetrics.prom: {samples} samples, exposition OK")
+    print(f"wrote {out}/q1_trace.json metrics.prom q1_explain.txt events.txt")
 
 
 if __name__ == "__main__":

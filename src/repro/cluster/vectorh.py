@@ -23,7 +23,8 @@ from repro.mpp.executor import MppExecutor, QueryResult
 from repro.mpp.logical import LogicalPlan
 from repro.mpp.rewriter import ParallelRewriter, RewriterFlags
 from repro.net.mpi import MpiFabric
-from repro.obs import MetricsRegistry, SimClock, Tracer
+from repro.obs import ClusterEventLog, MetricsRegistry, SimClock, Tracer
+from repro.obs.introspect import SystemCatalog, explain_analyze, resolve_table
 from repro.pdt.stack import PdtStack
 from repro.storage.buffer import BufferPool
 from repro.storage.schema import TableSchema
@@ -67,12 +68,13 @@ class VectorHCluster:
         self.registry = MetricsRegistry()
         self.sim_clock = SimClock()
         self.tracer = Tracer(sim_clock=self.sim_clock)
+        self.events = ClusterEventLog(sim_clock=self.sim_clock)
 
         self.placement = VectorHPlacementPolicy()
         self.hdfs = HdfsCluster(names, self.config, self.placement,
-                                registry=self.registry)
+                                registry=self.registry, events=self.events)
         self.rm = ResourceManager(yarn_queues or {"default": 5, "prod": 8},
-                                  registry=self.registry)
+                                  registry=self.registry, events=self.events)
         for name in names:
             self.rm.register_node(
                 name, self.config.cores_per_node, self.config.memory_per_node_mb
@@ -99,14 +101,19 @@ class VectorHCluster:
         self.wal = WalManager(self.hdfs, db_path, registry=self.registry)
         self.txn = TransactionManager(self)
         self.executor = MppExecutor(self)
+        self.catalog = SystemCatalog(self)
 
     # ---------------------------------------------------------------- plumbing
 
     def pool_of(self, node: str) -> BufferPool:
         return self._pools[node]
 
+    def table(self, name: str):
+        """Resolve a table name: base tables, then vh$ system tables."""
+        return resolve_table(self, name)
+
     def responsible(self, table: str, pid: int) -> str:
-        stored = self.tables[table]
+        stored = self.table(table)
         if stored.is_replicated:
             return self.session_master
         return self._responsibility[(table, pid)]
@@ -138,6 +145,8 @@ class VectorHCluster:
             self.wal.create_partition_wal(schema.name, pid, writer=nodes[0])
         self.wal.log_global("ddl", ("create_table", schema.name),
                             writer=self.session_master)
+        self.events.emit("cluster", "create_table", table=schema.name,
+                         partitions=stored.n_partitions)
         return stored
 
     def create_index(self, table: str, column: str):
@@ -150,6 +159,8 @@ class VectorHCluster:
         self._indexes[key] = index
         self.wal.log_global("ddl", ("create_index", table, column),
                             writer=self.session_master)
+        self.events.emit("cluster", "create_index", table=table,
+                         column=column)
         return index
 
     def index_lookup(self, table: str, column: str, value,
@@ -192,6 +203,7 @@ class VectorHCluster:
             part.delete_all()
         self.wal.log_global("ddl", ("drop_table", name),
                             writer=self.session_master)
+        self.events.emit("cluster", "drop_table", table=name)
 
     # --------------------------------------------------------------------- load
 
@@ -231,7 +243,7 @@ class VectorHCluster:
                 tables = sorted({s.table for s in scans})
                 aspan.attrs["tables"] = ",".join(tables) or "-"
                 aspan.attrs["partitions"] = sum(
-                    self.tables[t].n_partitions for t in tables
+                    self.table(t).n_partitions for t in tables
                 )
             result = self.executor.execute(phys, trans=trans,
                                            exchange_mode=exchange_mode,
@@ -249,6 +261,18 @@ class VectorHCluster:
                 flags: Optional[RewriterFlags] = None) -> str:
         return ParallelRewriter(self, flags).rewrite(plan).pretty()
 
+    def explain_analyze(self, plan: LogicalPlan,
+                        flags: Optional[RewriterFlags] = None,
+                        trans: Optional[DistributedTransaction] = None,
+                        exchange_mode: str = "streaming",
+                        thread_to_node: bool = True) -> Tuple[str, QueryResult]:
+        """Run the plan and render the physical plan with per-operator
+        actuals (rows, stream time, wire bytes per link, MinMax skips,
+        scan locality); see :func:`repro.obs.introspect.explain_analyze`."""
+        return explain_analyze(self, plan, flags, trans=trans,
+                               exchange_mode=exchange_mode,
+                               thread_to_node=thread_to_node)
+
     def resolve_minmax(self, plan: LogicalPlan) -> Dict[str, object]:
         """The MinMax network interface (paper section 6).
 
@@ -264,7 +288,7 @@ class VectorHCluster:
         wanted: Dict[Tuple[str, int], list] = {}
         for node in plan.walk():
             if isinstance(node, LScan) and node.skip_predicates:
-                stored = self.tables[node.table]
+                stored = self.table(node.table)
                 for pid in range(stored.n_partitions):
                     wanted.setdefault((node.table, pid), []).extend(
                         node.skip_predicates
@@ -454,6 +478,7 @@ class VectorHCluster:
         """
         if name not in self.workers:
             raise ReproError(f"{name} is not in the worker set")
+        self.events.emit("cluster", "node_failed", node=name)
         self.hdfs.mark_node_dead(name)
         self.rm.unregister_node(name)
         survivors = [w for w in self.workers if w != name]
@@ -504,6 +529,11 @@ class VectorHCluster:
                         wal_replayed_bytes += self._replay_pdt(tname, pid, new)
         repaired = self.hdfs.rereplicate()
         self.hdfs.rebalance()
+        self.events.emit(
+            "cluster", "failover_complete", node=name,
+            workers=len(self.workers), moved_partitions=moved_partitions,
+            rereplicated_files=repaired,
+        )
         return {
             "workers": list(self.workers),
             "moved_partitions": moved_partitions,
@@ -559,6 +589,8 @@ class VectorHCluster:
         self.workers = self.dbagent.negotiate_worker_set(
             len(self.workers) + 1, self.db_path + "/"
         )
+        self.events.emit("cluster", "worker_added", node=name,
+                         workers=len(self.workers))
         if rebalance:
             self._reassign_partitions()
 
@@ -577,6 +609,8 @@ class VectorHCluster:
         active = self._covering_subset(n_active)
         self._reassign_partitions(responsibility_workers=active)
         self.dbagent.shrink_footprint(len(self.dbagent.slices))
+        self.events.emit("cluster", "footprint_shrunk",
+                         active=",".join(active))
         return active
 
     def _covering_subset(self, n_target: int) -> List[str]:
@@ -610,6 +644,8 @@ class VectorHCluster:
     def restore_full_footprint(self) -> None:
         """Leave idle mode: spread responsibilities over all workers."""
         self._reassign_partitions()
+        self.events.emit("cluster", "footprint_restored",
+                         workers=len(self.workers))
 
     def _reassign_partitions(
         self, responsibility_workers: Optional[List[str]] = None
@@ -664,7 +700,35 @@ class VectorHCluster:
             "short_circuit_fraction": self.hdfs.locality_fraction(),
             "total_bytes_read": float(self.hdfs.total_bytes_read()),
             "network_bytes": float(self.mpi.total_bytes),
+            "colocated_fraction": self.placement_audit()["overall"],
         }
+
+    def placement_audit(self) -> Dict[str, float]:
+        """Per-table fraction of partitions whose responsible node holds a
+        local replica of every partition file; key ``"overall"`` aggregates
+        all partitions. Fractions below 1.0 mean responsibility has drifted
+        away from the data (e.g. after DataNode failures before
+        re-replication catches up) and emit a ``placement_drift`` event."""
+        audit: Dict[str, float] = {}
+        total = colocated = 0
+        for tname, stored in self.tables.items():
+            table_total = table_colocated = 0
+            for pid in range(stored.n_partitions):
+                table_total += 1
+                responsible = self.responsible(tname, pid)
+                paths = stored.partitions[pid].file_paths()
+                if all(self.hdfs.is_local(p, responsible) for p in paths):
+                    table_colocated += 1
+            audit[tname] = (
+                1.0 if table_total == 0 else table_colocated / table_total
+            )
+            if audit[tname] < 1.0:
+                self.events.emit("cluster", "placement_drift", table=tname,
+                                 fraction=round(audit[tname], 4))
+            total += table_total
+            colocated += table_colocated
+        audit["overall"] = 1.0 if total == 0 else colocated / total
+        return audit
 
     def reset_io_counters(self) -> None:
         """Deprecated shim: resets the hdfs/net/buffer series through the

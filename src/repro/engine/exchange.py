@@ -335,6 +335,18 @@ class Exchange:
             "peak_buffered_bytes": self.peak_buffered,
             "peak_queued_bytes": self.peak_queued,
             "buffer_capacity_bytes": self.buffer_capacity_bytes,
+            # per node->node link, for EXPLAIN ANALYZE's wire breakdown
+            "links": [
+                {
+                    "src": chan.src,
+                    "dst": chan.dst,
+                    "bytes": chan.bytes_pushed,
+                    "tuples": chan.tuples_pushed,
+                    "messages": chan.messages_sent,
+                    "local": chan.local,
+                }
+                for _, chan in sorted(self.channels.items())
+            ],
         }
 
     def merged_sender_profile(self):

@@ -104,9 +104,11 @@ class HdfsCluster:
         config: Config = DEFAULT_CONFIG,
         placement_policy: Optional[BlockPlacementPolicy] = None,
         registry: Optional[MetricsRegistry] = None,
+        events=None,
     ):
         self.config = config
         self.registry = registry or MetricsRegistry()
+        self.events = events  # ClusterEventLog when part of a cluster
         self.nodes: Dict[str, DataNode] = {
             name: DataNode(name, self.registry) for name in node_names
         }
@@ -222,6 +224,8 @@ class HdfsCluster:
         if node is None or not node.alive:
             raise HdfsError(f"cannot fail node {name}")
         node.alive = False
+        if self.events is not None:
+            self.events.emit("hdfs", "node_dead", node=name)
 
     def fail_node(self, name: str) -> int:
         """Kill a datanode, then re-replicate under-replicated files.
@@ -234,12 +238,16 @@ class HdfsCluster:
         if node is None or not node.alive:
             raise HdfsError(f"cannot fail node {name}")
         node.alive = False
+        if self.events is not None:
+            self.events.emit("hdfs", "node_dead", node=name)
         return self.rereplicate()
 
     def add_node(self, name: str) -> None:
         if name in self.nodes and self.nodes[name].alive:
             raise HdfsError(f"node already present: {name}")
         self.nodes[name] = DataNode(name, self.registry)
+        if self.events is not None:
+            self.events.emit("hdfs", "node_added", node=name)
 
     def rereplicate(self) -> int:
         """Bring every file back to its replication degree."""
@@ -262,6 +270,8 @@ class HdfsCluster:
             repaired += 1
         if repaired:
             self._rereplication_events.inc(repaired)
+            if self.events is not None:
+                self.events.emit("hdfs", "rereplication", files=repaired)
         return repaired
 
     def rebalance(self) -> int:
@@ -291,6 +301,8 @@ class HdfsCluster:
             moved += 1
         if moved:
             self._rereplication_events.inc(moved)
+            if self.events is not None:
+                self.events.emit("hdfs", "rebalance", files=moved)
         return moved
 
     # -- statistics ------------------------------------------------------------

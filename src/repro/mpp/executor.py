@@ -62,6 +62,14 @@ MASTER_STREAM = "__master__"
 estimate_batch_bytes = batch_bytes
 
 
+def _table_of(cluster, name: str):
+    """Catalog lookup honouring vh$ system tables when available."""
+    lookup = getattr(cluster, "table", None)
+    if callable(lookup):
+        return lookup(name)
+    return cluster.tables[name]
+
+
 @dataclass
 class QueryResult:
     batch: Batch
@@ -177,7 +185,7 @@ class StreamingScan(Operator):
 
     def _typed_empty(self) -> Batch:
         """Zero-row batch with engine dtypes (decimals scan as float64)."""
-        table = self.cluster.tables[self.phys.table]
+        table = _table_of(self.cluster, self.phys.table)
         cols = {}
         for name in self.phys.columns:
             if table._decimal_scale(name) is not None:
@@ -190,15 +198,18 @@ class StreamingScan(Operator):
     def _run(self):
         cluster = self.cluster
         phys = self.phys
-        table = cluster.tables[phys.table]
+        table = _table_of(cluster, phys.table)
         trans = self.ctx.trans
+        virtual = getattr(table, "is_virtual", False)
         yielded = False
         for pid in range(table.n_partitions):
-            if cluster.responsible(phys.table, pid) != self.node:
+            if not virtual and \
+                    cluster.responsible(phys.table, pid) != self.node:
                 continue
             res = table.scan_partition(
                 pid, phys.columns, phys.skip_predicates,
-                trans=trans.trans_for(phys.table, pid) if trans else None,
+                trans=(trans.trans_for(phys.table, pid)
+                       if trans and not virtual else None),
                 reader=self.node, pool=cluster.pool_of(self.node),
             )
             held = batch_bytes(Batch.from_columns(res.columns))
@@ -520,7 +531,7 @@ class MppExecutor:
         if phys.align_with is not None:
             # route with the aligned table's partition function and
             # responsibility map, so rows land with their join partners
-            schema = self.cluster.tables[phys.align_with].schema
+            schema = _table_of(self.cluster, phys.align_with).schema
             node_index = {w: i for i, w in enumerate(workers)}
             align_with = phys.align_with
 

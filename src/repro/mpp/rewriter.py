@@ -41,6 +41,14 @@ class RewriterFlags:
     net_weight: float = 4.0
 
 
+def _table(cluster, name: str):
+    """Catalog lookup honouring vh$ system tables when available."""
+    lookup = getattr(cluster, "table", None)
+    if callable(lookup):
+        return lookup(name)
+    return cluster.tables[name]
+
+
 class ParallelRewriter:
     """Produces a distributed plan rooted at the session master."""
 
@@ -60,7 +68,7 @@ class ParallelRewriter:
 
     def estimate_rows(self, node: L.LogicalPlan) -> float:
         if isinstance(node, L.LScan):
-            table = self.cluster.tables[node.table]
+            table = _table(self.cluster, node.table)
             rows = sum(p.n_stable for p in table.partitions)
             if node.skip_predicates:
                 rows *= 0.3 ** len(node.skip_predicates)
@@ -158,7 +166,7 @@ class ParallelRewriter:
         return phys, tuple(node.partition_by) + tuple(node.order_by)
 
     def _rw_scan(self, node: L.LScan) -> Tuple[P.PhysNode, Tuple[str, ...]]:
-        table = self.cluster.tables[node.table]
+        table = _table(self.cluster, node.table)
         if table.is_replicated:
             dist = P.Distribution(P.REPLICATED)
         else:
@@ -279,8 +287,8 @@ class ParallelRewriter:
             return False
         if bt == pt:
             return True
-        b_parts = self.cluster.tables[bt].n_partitions
-        p_parts = self.cluster.tables[pt].n_partitions
+        b_parts = _table(self.cluster, bt).n_partitions
+        p_parts = _table(self.cluster, pt).n_partitions
         return b_parts == p_parts
 
     # ----------------------------------------------------------- aggregation

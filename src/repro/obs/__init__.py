@@ -7,8 +7,16 @@
 * :class:`Tracer` / :class:`Span` -- nested query-lifecycle spans
   recording wall time *and* the simulator's charged time, exportable as a
   text tree or Chrome-trace JSON.
+* :class:`ClusterEventLog` / :class:`Event` -- append-only log of
+  irregular cluster facts (failures, re-replication, preemption, 2PC
+  outcomes, DDL), queryable through the ``vh$events`` system table.
+
+``repro.obs.introspect`` (system tables + EXPLAIN ANALYZE) depends on the
+storage/mpp layers and is therefore *not* imported here; import it
+directly.
 """
 
+from repro.obs.events import ClusterEventLog, Event
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -25,7 +33,9 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "ClusterEventLog",
     "Counter",
+    "Event",
     "Gauge",
     "Histogram",
     "MetricFamily",

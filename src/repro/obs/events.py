@@ -1,0 +1,83 @@
+"""Append-only cluster event log, stamped with both clocks.
+
+Metrics aggregate, traces cover one query -- events are the irregular
+cluster-level facts in between: node failures and recoveries,
+re-replication and rebalancing, YARN preemptions, 2PC outcomes, schema
+changes, worker-set growth and shrinkage. Each event carries the
+simulated clock (so it interleaves causally with query spans on the
+cluster-equivalent timeline) plus wall time, a coarse ``source``
+(hdfs/yarn/txn/cluster) and a ``kind`` with free-form attributes. The
+log is append-only; ``vh$events`` exposes it through SQL.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """One recorded cluster event."""
+
+    seq: int
+    sim_time: float  # SimClock seconds when the event happened
+    wall_time: float  # time.time() for log correlation
+    source: str  # hdfs | yarn | txn | cluster
+    kind: str
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def detail(self) -> str:
+        """Flat ``k=v`` rendering of the attributes (the vh$events form)."""
+        return " ".join(f"{k}={v}" for k, v in self.attrs.items())
+
+
+class ClusterEventLog:
+    """Append-only event sink shared by every subsystem of one cluster."""
+
+    def __init__(self, sim_clock=None):
+        self._sim_clock = sim_clock
+        self._events: List[Event] = []
+
+    def emit(self, source: str, kind: str, **attrs) -> Event:
+        sim = self._sim_clock.seconds if self._sim_clock is not None else 0.0
+        event = Event(
+            seq=len(self._events),
+            sim_time=sim,
+            wall_time=_time.time(),
+            source=source,
+            kind=kind,
+            attrs=dict(attrs),
+        )
+        self._events.append(event)
+        return event
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def events(self) -> List[Event]:
+        return list(self._events)
+
+    def tail(self, n: int = 20) -> List[Event]:
+        return self._events[-n:]
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return [e for e in self._events if e.kind == kind]
+
+    def of_source(self, source: str) -> List[Event]:
+        return [e for e in self._events if e.source == source]
+
+    def last(self, kind: Optional[str] = None) -> Optional[Event]:
+        if kind is None:
+            return self._events[-1] if self._events else None
+        for event in reversed(self._events):
+            if event.kind == kind:
+                return event
+        return None

@@ -1,0 +1,443 @@
+"""Queryable introspection: vh$ system tables and EXPLAIN ANALYZE.
+
+The cluster describes itself through its own SQL engine:
+
+* **System tables** -- :class:`SystemCatalog` registers seven virtual
+  ``vh$`` tables (:data:`SYSTEM_TABLES`) whose partitions are live
+  snapshots of the metrics registry, the HDFS block map, per-column
+  compression statistics, PDT overlay sizes, the cluster event log and
+  the tracer's finished-query ring. A :class:`VirtualTable` quacks like a
+  :class:`~repro.storage.table.StoredTable` (schema, replication,
+  ``scan_partition``), so the binder, rewriter and streaming executor
+  treat them exactly like replicated base tables -- a ``SELECT`` against
+  ``vh$metrics`` runs through the normal MPP path.
+
+* **EXPLAIN ANALYZE** -- :func:`explain_analyze` executes a logical plan
+  and renders the physical plan annotated with per-operator *actuals*:
+  rows produced, simulated stream time, wire bytes per exchange (down to
+  the individual node->node link), MinMax blocks skipped vs scanned, and
+  the scan-locality fraction, all reconciled against a registry snapshot
+  diff taken around the execution.
+
+Import note: this module pulls in storage/mpp layers, so ``repro.obs``
+must not import it eagerly (``repro.obs.events`` has no such cycle and
+is exported there instead).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import StorageError
+from repro.common.types import FLOAT64, INT64, STRING, ColumnType
+from repro.mpp import plan as P
+from repro.storage.schema import Column, TableSchema
+from repro.storage.table import ScanResult
+
+SYSTEM_TABLE_PREFIX = "vh$"
+
+
+# ---------------------------------------------------------------------------
+# Virtual tables
+# ---------------------------------------------------------------------------
+
+class VirtualTable:
+    """A system table: a schema plus a snapshot function.
+
+    Duck-typed against :class:`~repro.storage.table.StoredTable` for the
+    read path only -- replicated (every node could compute the snapshot),
+    single "partition", no storage, no PDTs. The snapshot is computed at
+    scan time, so a query sees the cluster state at the moment its scan
+    operator first pulls.
+    """
+
+    is_virtual = True
+    is_replicated = True
+    n_partitions = 1
+    #: no stored partitions: cardinality estimates see 0 stable rows
+    partitions: Tuple = ()
+
+    def __init__(self, cluster, schema: TableSchema,
+                 snapshot_fn: Callable[[object], List[tuple]]):
+        self.cluster = cluster
+        self.schema = schema
+        self._snapshot_fn = snapshot_fn
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def _decimal_scale(self, name: str) -> Optional[int]:
+        return None
+
+    def snapshot_rows(self) -> List[tuple]:
+        """The current rows, in schema column order."""
+        return self._snapshot_fn(self.cluster)
+
+    def scan_partition(self, pid: int, columns: Sequence[str],
+                       predicates: Sequence[Tuple[str, str, object]] = (),
+                       trans=None, reader: Optional[str] = None,
+                       pool=None) -> ScanResult:
+        rows = self.snapshot_rows()
+        arrays = _columns_from_rows(self.schema, rows)
+        n = len(rows)
+        cols = {c: arrays[c] for c in dict.fromkeys(columns)}
+        return ScanResult(cols, np.arange(n, dtype=np.int64), n)
+
+
+def _columns_from_rows(schema: TableSchema,
+                       rows: List[tuple]) -> Dict[str, np.ndarray]:
+    out: Dict[str, np.ndarray] = {}
+    for i, col in enumerate(schema.columns):
+        values = [r[i] for r in rows]
+        if col.ctype.is_string:
+            arr = np.empty(len(values), dtype=object)
+            arr[:] = [str(v) for v in values]
+        else:
+            arr = np.asarray(values, dtype=col.ctype.dtype)
+        out[col.name] = arr
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Snapshot builders (one per system table; rows in schema column order)
+# ---------------------------------------------------------------------------
+
+def _labels_text(family, key) -> str:
+    return ",".join(f"{n}={v}" for n, v in family.labelset(key).items())
+
+
+def _metrics_rows(cluster) -> List[tuple]:
+    rows = []
+    for family in cluster.registry.families():
+        snap = family.snapshot()
+        if family.kind == "histogram":
+            for key, data in sorted(snap.items()):
+                labels = _labels_text(family, key)
+                rows.append((f"{family.name}_count", family.kind, labels,
+                             float(data["count"])))
+                rows.append((f"{family.name}_sum", family.kind, labels,
+                             float(data["sum"])))
+        else:
+            for key, value in sorted(snap.items()):
+                rows.append((family.name, family.kind,
+                             _labels_text(family, key), float(value)))
+    return rows
+
+
+def _blocks_rows(cluster) -> List[tuple]:
+    rows = []
+    for tname in sorted(cluster.tables):
+        stored = cluster.tables[tname]
+        for pid, store in enumerate(stored.partitions):
+            for col in stored.schema.column_names:
+                for ref in store.blocks.get(col, ()):
+                    rows.append((tname, pid, col, ref.path, ref.row_start,
+                                 ref.n_rows, ref.length, ref.scheme))
+    return rows
+
+
+def _partitions_rows(cluster) -> List[tuple]:
+    rows = []
+    for tname in sorted(cluster.tables):
+        stored = cluster.tables[tname]
+        for pid in range(stored.n_partitions):
+            node = cluster.responsible(tname, pid)
+            store = stored.partitions[pid]
+            paths = store.file_paths()
+            replicas = set()
+            for path in paths:
+                replicas.update(
+                    h for h in cluster.hdfs.replica_locations(path)
+                    if cluster.hdfs.nodes[h].alive
+                )
+            local = int(all(cluster.hdfs.is_local(p, node) for p in paths))
+            rows.append((tname, pid, node, len(replicas), store.n_stable,
+                         stored.pdt[pid].total_entries(),
+                         store.total_bytes(), local))
+    return rows
+
+
+def _compression_rows(cluster) -> List[tuple]:
+    totals: Dict[Tuple[str, str, str], Dict[str, int]] = {}
+    for tname in sorted(cluster.tables):
+        stored = cluster.tables[tname]
+        for store in stored.partitions:
+            for (col, scheme), stats in store.compression_stats().items():
+                entry = totals.setdefault(
+                    (tname, col, scheme),
+                    {"blocks": 0, "raw_bytes": 0, "encoded_bytes": 0},
+                )
+                for k in entry:
+                    entry[k] += stats[k]
+    rows = []
+    for (tname, col, scheme), entry in sorted(totals.items()):
+        encoded = entry["encoded_bytes"]
+        ratio = entry["raw_bytes"] / encoded if encoded else 0.0
+        rows.append((tname, col, scheme, entry["blocks"],
+                     entry["raw_bytes"], encoded, ratio))
+    return rows
+
+
+def _pdt_rows(cluster) -> List[tuple]:
+    rows = []
+    for tname in sorted(cluster.tables):
+        stored = cluster.tables[tname]
+        for pid, stack in enumerate(stored.pdt):
+            rows.append((tname, pid, len(stack.read), len(stack.write),
+                         stack.total_entries(), stack.version))
+    return rows
+
+
+def _events_rows(cluster) -> List[tuple]:
+    return [(e.seq, e.sim_time, e.wall_time, e.source, e.kind, e.detail)
+            for e in cluster.events]
+
+
+def _queries_rows(cluster) -> List[tuple]:
+    rows = []
+    for seq, span in enumerate(cluster.tracer.finished):
+        statement = str(span.attrs.get("statement", ""))
+        n_spans = sum(1 for _ in span.iter_spans())
+        rows.append((seq, span.name, statement,
+                     span.wall_seconds * 1e3, span.sim_seconds * 1e3,
+                     n_spans))
+    return rows
+
+
+def _schema(name: str, columns: List[Tuple[str, ColumnType]]) -> TableSchema:
+    return TableSchema(name=name,
+                       columns=[Column(n, t) for n, t in columns])
+
+
+#: (name, columns, snapshot builder) for every system table
+SYSTEM_TABLES = (
+    ("vh$metrics",
+     [("metric", STRING), ("kind", STRING), ("labels", STRING),
+      ("value", FLOAT64)],
+     _metrics_rows),
+    ("vh$blocks",
+     [("table", STRING), ("partition", INT64), ("column", STRING),
+      ("path", STRING), ("row_start", INT64), ("n_rows", INT64),
+      ("bytes", INT64), ("scheme", STRING)],
+     _blocks_rows),
+    ("vh$partitions",
+     [("table", STRING), ("partition", INT64), ("responsible", STRING),
+      ("replicas", INT64), ("rows", INT64), ("pdt_entries", INT64),
+      ("bytes", INT64), ("local", INT64)],
+     _partitions_rows),
+    ("vh$compression",
+     [("table", STRING), ("column", STRING), ("scheme", STRING),
+      ("blocks", INT64), ("raw_bytes", INT64), ("encoded_bytes", INT64),
+      ("ratio", FLOAT64)],
+     _compression_rows),
+    ("vh$pdt",
+     [("table", STRING), ("partition", INT64), ("read_entries", INT64),
+      ("write_entries", INT64), ("total_entries", INT64),
+      ("version", INT64)],
+     _pdt_rows),
+    ("vh$events",
+     [("seq", INT64), ("sim_time", FLOAT64), ("wall_time", FLOAT64),
+      ("source", STRING), ("kind", STRING), ("detail", STRING)],
+     _events_rows),
+    ("vh$queries",
+     [("seq", INT64), ("root", STRING), ("statement", STRING),
+      ("wall_ms", FLOAT64), ("sim_ms", FLOAT64), ("spans", INT64)],
+     _queries_rows),
+)
+
+
+class SystemCatalog:
+    """The cluster's virtual-table namespace (``vh$*``)."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self._tables: Dict[str, VirtualTable] = {}
+        for name, columns, builder in SYSTEM_TABLES:
+            self._tables[name] = VirtualTable(
+                cluster, _schema(name, columns), builder
+            )
+
+    def lookup(self, name: str) -> Optional[VirtualTable]:
+        return self._tables.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._tables)
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN ANALYZE
+# ---------------------------------------------------------------------------
+
+def explain_analyze(cluster, plan, flags=None, trans=None,
+                    exchange_mode: str = "streaming",
+                    thread_to_node: bool = True):
+    """Run a logical plan and annotate its physical plan with actuals.
+
+    Returns ``(text, result)``: the annotated plan text and the
+    underlying :class:`~repro.mpp.executor.QueryResult` (whose
+    ``plan_text`` is replaced by the annotated rendering). The registry
+    is snapshotted around the execution so MinMax, locality and exchange
+    actuals are exactly this query's contribution.
+    """
+    from repro.mpp.rewriter import ParallelRewriter
+    from repro.obs import NULL_TRACER
+
+    tracer = getattr(cluster, "tracer", None) or NULL_TRACER
+    before = cluster.registry.snapshot()
+    with tracer.span("query", explain="analyze"):
+        with tracer.span("rewrite"):
+            phys = ParallelRewriter(cluster, flags).rewrite(plan)
+        result = cluster.executor.execute(
+            phys, trans=trans, exchange_mode=exchange_mode,
+            thread_to_node=thread_to_node,
+        )
+        with tracer.span("commit", implicit=trans is None):
+            pass
+    after = cluster.registry.snapshot()
+    text = annotate_plan(phys, result, before, after)
+    result.plan_text = text
+    return text, result
+
+
+def _flatten_profiles(profiles) -> Dict[str, deque]:
+    by_label: Dict[str, deque] = {}
+
+    def walk(prof):
+        by_label.setdefault(prof.label, deque()).append(prof)
+        for child in prof.children:
+            walk(child)
+
+    for prof in profiles:
+        walk(prof)
+    return by_label
+
+
+def _series_delta(before, after, name) -> Dict[tuple, float]:
+    """Per-label-key increase of one counter family between snapshots."""
+    base = before.get(name, {})
+    return {key: value - base.get(key, 0)
+            for key, value in after.get(name, {}).items()}
+
+
+def annotate_plan(phys, result, before, after) -> str:
+    """Render a physical plan with per-operator actuals.
+
+    Per operator: ``rows`` (tuples produced, summed over streams) and
+    ``stream_time`` (slowest stream's wall time -- the per-round critical
+    path the simulated clock charges). Exchanges add total wire traffic
+    plus one line per node->node link; scans add MinMax skipped/total
+    blocks for their table. The footer reconciles totals against the
+    registry snapshot diff.
+    """
+    profiles = _flatten_profiles(result.profiles)
+    exchange_stats: Dict[str, deque] = {}
+    for stats in result.exchanges:
+        exchange_stats.setdefault(stats["label"], deque()).append(stats)
+    scanned_delta = _series_delta(before, after, "minmax_blocks_scanned_total")
+    skipped_delta = _series_delta(before, after, "minmax_blocks_skipped_total")
+
+    lines: List[str] = []
+
+    def pop_profile(label: str):
+        queue = profiles.get(label)
+        if queue is None and "(" in label:
+            # plan qualifiers like Aggr(final)[b] profile as plain Aggr[b];
+            # pre-order emit matches pre-order flattening, so popleft pairs
+            # each qualified node with its own profile.
+            head, _, rest = label.partition("(")
+            _, _, tail = rest.partition(")")
+            queue = profiles.get(head + tail)
+        return queue.popleft() if queue else None
+
+    def emit(node, indent: int) -> None:
+        pad = "  " * indent
+        dist = node.distribution
+        head = (f"{pad}{node.describe()}  <{dist.kind}"
+                + (f" on {','.join(dist.keys)}" if dist.keys else "") + ">")
+        is_exchange = isinstance(node, P.DXchg)
+        prof = (pop_profile(node.describe() + ".recv") if is_exchange
+                else pop_profile(node.describe()))
+        actuals: List[str] = []
+        if prof is not None:
+            actuals.append(f"rows={prof.tuples_out}")
+            stream_time = (max(prof.stream_times) if prof.stream_times
+                           else prof.cum_time)
+            actuals.append(f"stream_time={stream_time * 1e3:.3f}ms")
+        stats = None
+        if is_exchange:
+            queue = exchange_stats.get(node.describe())
+            stats = queue.popleft() if queue else None
+            if stats is not None:
+                actuals.append(f"wire={int(stats['bytes'])}B"
+                               f"/{int(stats['messages'])}msgs")
+        if isinstance(node, P.PScan):
+            scanned = scanned_delta.get((node.table,), 0)
+            skipped = skipped_delta.get((node.table,), 0)
+            if scanned or skipped:
+                total = int(scanned + skipped)
+                actuals.append(f"minmax={int(skipped)}/{total} "
+                               "blocks skipped")
+        lines.append(head + (f"  [{' '.join(actuals)}]" if actuals else ""))
+        if stats is not None:
+            for link in stats.get("links", ()):
+                if not link["bytes"]:
+                    continue
+                mode = "local" if link["local"] else "remote"
+                lines.append(
+                    f"{pad}  . link {link['src']}->{link['dst']}: "
+                    f"{int(link['bytes'])}B {int(link['messages'])}msgs "
+                    f"{int(link['tuples'])}t ({mode})"
+                )
+        for child in node.children:
+            emit(child, indent + 1)
+
+    emit(phys, 0)
+
+    # footer: query-level actuals reconciled with the registry diff
+    reads = _series_delta(before, after, "hdfs_read_bytes_total")
+    local = sum(v for k, v in reads.items() if k[1] == "short_circuit")
+    remote = sum(v for k, v in reads.items() if k[1] == "remote")
+    total_read = local + remote
+    fraction = 1.0 if total_read == 0 else local / total_read
+    lines.append("-- actuals "
+                 "------------------------------------------------------")
+    lines.append(f"-- elapsed={result.elapsed * 1e3:.3f}ms "
+                 f"simulated={result.simulated_parallel_seconds * 1e3:.3f}ms")
+    lines.append(f"-- network: {result.network_bytes} bytes in "
+                 f"{result.network_messages} messages; "
+                 f"read: {result.bytes_read} bytes")
+    lines.append(f"-- scan locality: {fraction:.1%} short-circuit "
+                 f"({int(local)} local / {int(remote)} remote bytes)")
+    tables = sorted(set(scanned_delta) | set(skipped_delta))
+    for key in tables:
+        scanned = scanned_delta.get(key, 0)
+        skipped = skipped_delta.get(key, 0)
+        if scanned or skipped:
+            lines.append(f"-- minmax[{key[0]}]: scanned={int(scanned)} "
+                         f"skipped={int(skipped)} blocks")
+    if result.peak_node_memory:
+        peaks = " ".join(f"{n}={b}" for n, b in
+                         sorted(result.peak_node_memory.items()))
+        lines.append(f"-- peak memory bytes: {peaks}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Catalog lookup helper shared by binder/rewriter/executor
+# ---------------------------------------------------------------------------
+
+def resolve_table(cluster, name: str):
+    """Resolve ``name`` against base tables, then the system catalog."""
+    stored = cluster.tables.get(name)
+    if stored is not None:
+        return stored
+    catalog = getattr(cluster, "catalog", None)
+    if catalog is not None:
+        virtual = catalog.lookup(name)
+        if virtual is not None:
+            return virtual
+    raise StorageError(f"no such table {name}")

@@ -21,6 +21,15 @@ from repro.sql.parser import SqlParser
 _auto_names = itertools.count(1)
 
 
+def _table(cluster, name: str):
+    """Catalog lookup: base tables plus vh$ system tables when the
+    cluster exposes a ``table()`` resolver."""
+    lookup = getattr(cluster, "table", None)
+    if callable(lookup):
+        return lookup(name)
+    return cluster.tables[name]
+
+
 def _bind_expr(node) -> Expr:
     if isinstance(node, ast.ColumnRef):
         return Col(node.name)
@@ -94,6 +103,41 @@ def _has_aggregates(items) -> bool:
     return any(isinstance(item.expr, ast.AggCall) for item in items)
 
 
+_FLIPPED_OPS = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+
+
+def _conjuncts(node, out: List[object]) -> None:
+    if isinstance(node, ast.BinaryOp) and node.op == "and":
+        _conjuncts(node.left, out)
+        _conjuncts(node.right, out)
+    else:
+        out.append(node)
+
+
+def _sargable(node):
+    """``(column, op, literal)`` triples from one WHERE conjunct, or None.
+
+    These feed the storage layer's MinMax block skipping; the exact
+    filter still runs in the Select operator, so being conservative here
+    (None for anything unrecognized) only costs skipped IO savings.
+    """
+    if isinstance(node, ast.BinaryOp) and node.op in _FLIPPED_OPS:
+        if (isinstance(node.left, ast.ColumnRef)
+                and isinstance(node.right, ast.Literal)):
+            return [(node.left.name, node.op, node.right.value)]
+        if (isinstance(node.right, ast.ColumnRef)
+                and isinstance(node.left, ast.Literal)):
+            return [(node.right.name, _FLIPPED_OPS[node.op],
+                     node.left.value)]
+    if (isinstance(node, ast.BetweenOp) and not node.negate
+            and isinstance(node.child, ast.ColumnRef)
+            and isinstance(node.low, ast.Literal)
+            and isinstance(node.high, ast.Literal)):
+        return [(node.child.name, ">=", node.low.value),
+                (node.child.name, "<=", node.high.value)]
+    return None
+
+
 class _SelectBinder:
     def __init__(self, cluster, stmt: ast.SelectStatement):
         self.cluster = cluster
@@ -101,6 +145,9 @@ class _SelectBinder:
 
     def plan(self) -> LogicalPlan:
         stmt = self.stmt
+        if stmt.star:
+            stmt.items = self._expand_star()
+            stmt.star = False
         needed: List[str] = []
         for item in stmt.items:
             _collect_columns(item.expr, needed)
@@ -131,19 +178,63 @@ class _SelectBinder:
             return LLimit(plan, stmt.limit)
         return plan
 
+    def _expand_star(self) -> List[ast.SelectItem]:
+        """SELECT *: one item per column of the FROM/JOIN tables."""
+        items: List[ast.SelectItem] = []
+        seen = set()
+        stmt = self.stmt
+        for t in [stmt.table] + [j.table for j in stmt.joins]:
+            for name in _table(self.cluster, t).schema.column_names:
+                if name not in seen:
+                    seen.add(name)
+                    items.append(ast.SelectItem(ast.ColumnRef(name), None))
+        return items
+
+    def _skip_predicates(self, tables: List[str]) -> Dict[str, List]:
+        """Sargable WHERE conjuncts per scanned table, for MinMax.
+
+        Only the FROM table and inner-joined tables take predicates: on a
+        left join's null-supplying side a pushed-down filter would drop
+        probe rows instead of null-extending them.
+        """
+        out: Dict[str, List] = {t: [] for t in tables}
+        if self.stmt.where is None:
+            return out
+        eligible = {self.stmt.table} | {
+            j.table for j in self.stmt.joins if j.how == "inner"
+        }
+        conjuncts: List[object] = []
+        _conjuncts(self.stmt.where, conjuncts)
+        for conjunct in conjuncts:
+            preds = _sargable(conjunct)
+            if not preds:
+                continue
+            column = preds[0][0]
+            for t in tables:
+                table = _table(self.cluster, t)
+                if t not in eligible or getattr(table, "is_virtual", False):
+                    continue
+                if column in table.schema.column_names:
+                    out[t].extend(preds)
+                    break
+        return out
+
     def _from_clause(self, needed: List[str]) -> LogicalPlan:
         stmt = self.stmt
         tables = [stmt.table] + [j.table for j in stmt.joins]
         per_table: Dict[str, List[str]] = {}
         for t in tables:
-            schema = self.cluster.tables[t].schema
+            schema = _table(self.cluster, t).schema
             cols = [c for c in needed if c in schema.column_names]
             per_table[t] = cols or schema.column_names[:1]
-        plan: LogicalPlan = LScan(stmt.table, per_table[stmt.table])
+        skip = self._skip_predicates(tables)
+        plan: LogicalPlan = LScan(stmt.table, per_table[stmt.table],
+                                  skip[stmt.table])
         for join in stmt.joins:
-            build = LScan(join.table, per_table[join.table])
+            build = LScan(join.table, per_table[join.table],
+                          skip[join.table])
             # ON a = b: figure out which side each key belongs to
-            build_schema = self.cluster.tables[join.table].schema
+            build_schema = _table(self.cluster, join.table).schema
             if join.left_key in build_schema.column_names:
                 bk, pk = join.left_key, join.right_key
             else:
@@ -220,6 +311,19 @@ def _execute_sql(cluster, text: str, trans, tracer):
         with tracer.span("bind"):
             plan = _SelectBinder(cluster, stmt).plan()
         return cluster.query(plan, trans=trans).batch
+    if isinstance(stmt, ast.ExplainStatement):
+        with tracer.span("bind"):
+            plan = _SelectBinder(cluster, stmt.select).plan()
+        if stmt.analyze:
+            from repro.obs.introspect import explain_analyze
+            text, _result = explain_analyze(cluster, plan, trans=trans)
+        else:
+            text = cluster.explain(plan)
+        from repro.engine.batch import Batch
+        lines = text.split("\n")
+        arr = np.empty(len(lines), dtype=object)
+        arr[:] = lines
+        return Batch({"plan": arr}, len(lines))
     if isinstance(stmt, ast.InsertStatement):
         schema = cluster.tables[stmt.table].schema
         columns = list(stmt.columns) or schema.column_names

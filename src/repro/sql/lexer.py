@@ -14,14 +14,14 @@ KEYWORDS = {
     "between", "as", "asc", "desc", "insert", "into", "values", "delete",
     "update", "set", "date", "case", "when", "then", "else", "end",
     "distinct", "count", "sum", "avg", "min", "max", "null", "is",
-    "extract", "year", "substring", "for",
+    "extract", "year", "substring", "for", "explain", "analyze",
 }
 
 _TOKEN_RE = re.compile(r"""
     (?P<ws>\s+)
   | (?P<number>\d+(\.\d+)?)
   | (?P<string>'(?:[^'])*')
-  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_$]*)
   | (?P<op><>|<=|>=|!=|=|<|>|\(|\)|,|\*|\+|-|/|\.|;)
 """, re.VERBOSE)
 

@@ -107,6 +107,13 @@ class SelectStatement:
     having: Optional[object] = None
     order_by: List[Tuple[str, bool]] = field(default_factory=list)
     limit: Optional[int] = None
+    star: bool = False  # SELECT * (items empty; binder expands)
+
+
+@dataclass
+class ExplainStatement:
+    select: SelectStatement
+    analyze: bool = False
 
 
 @dataclass
@@ -169,7 +176,11 @@ class SqlParser:
     # -- entry ----------------------------------------------------------------
 
     def parse(self):
-        if self._keyword("select"):
+        if self._keyword("explain"):
+            analyze = self._keyword("analyze")
+            self._expect("keyword", "select")
+            stmt = ExplainStatement(self._select(), analyze)
+        elif self._keyword("select"):
             stmt = self._select()
         elif self._keyword("insert"):
             stmt = self._insert()
@@ -186,9 +197,14 @@ class SqlParser:
     # -- statements -------------------------------------------------------------
 
     def _select(self) -> SelectStatement:
-        items = [self._select_item()]
-        while self._accept("op", ","):
+        star = False
+        items: List[SelectItem] = []
+        if self._accept("op", "*"):
+            star = True
+        else:
             items.append(self._select_item())
+            while self._accept("op", ","):
+                items.append(self._select_item())
         self._expect("keyword", "from")
         table = self._expect("name").value
         joins = []
@@ -234,7 +250,7 @@ class SqlParser:
         if self._keyword("limit"):
             limit = int(self._expect("number").value)
         return SelectStatement(items, table, joins, where, group_by,
-                               having, order_by, limit)
+                               having, order_by, limit, star)
 
     def _select_item(self) -> SelectItem:
         expr = self._expression()

@@ -45,6 +45,9 @@ class BlockRef:
     offset: int
     length: int
     scheme: str
+    #: uncompressed size of the block's values (0 in pre-existing WAL
+    #: records written before compression accounting existed)
+    raw_bytes: int = 0
 
     @property
     def row_end(self) -> int:
@@ -166,8 +169,13 @@ class PartitionStore:
             self._open_chunk_blocks += 1
         offset = self.hdfs.file_size(path)
         self.hdfs.append(path, payload, writer)
+        if values.dtype == object:
+            # strings: payload bytes plus a 4-byte length word per value
+            raw = sum(len(str(v)) for v in values) + 4 * len(values)
+        else:
+            raw = values.nbytes
         ref = BlockRef(name, row_start, len(values), path, offset,
-                       len(payload), block.scheme)
+                       len(payload), block.scheme, raw)
         self.blocks[name].append(ref)
         if partial:
             self._partial_refs[name] = ref
@@ -296,3 +304,22 @@ class PartitionStore:
 
     def n_blocks(self) -> int:
         return sum(len(refs) for refs in self.blocks.values())
+
+    def compression_stats(self) -> Dict[Tuple[str, str], Dict[str, int]]:
+        """Raw vs encoded bytes per (column, scheme), from live refs.
+
+        Computed on demand so partial-block absorption and rewrites never
+        double-count; ``vh$compression`` aggregates this across
+        partitions into per-column compression ratios.
+        """
+        out: Dict[Tuple[str, str], Dict[str, int]] = {}
+        for name, refs in self.blocks.items():
+            for ref in refs:
+                entry = out.setdefault(
+                    (name, ref.scheme),
+                    {"blocks": 0, "raw_bytes": 0, "encoded_bytes": 0},
+                )
+                entry["blocks"] += 1
+                entry["raw_bytes"] += ref.raw_bytes
+                entry["encoded_bytes"] += ref.length
+        return out

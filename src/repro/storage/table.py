@@ -140,6 +140,35 @@ class StoredTable:
             fixed.append((col, op, literal))
         return fixed
 
+    def _record_minmax(self, store: PartitionStore,
+                       ranges: Sequence[Tuple[int, int]],
+                       needed: Sequence[str]) -> None:
+        """Charge MinMax skip effectiveness: of the blocks the scan would
+        touch for its needed columns, how many did the qualifying ranges
+        let it skip? Only called for predicated scans."""
+        registry = getattr(self.hdfs, "registry", None)
+        if registry is None:
+            return
+        scanned = skipped = 0
+        for name in needed:
+            for ref in store.blocks.get(name, ()):
+                overlaps = any(ref.row_end > start and ref.row_start < end
+                               for start, end in ranges)
+                if overlaps:
+                    scanned += 1
+                else:
+                    skipped += 1
+        labels = {"table": self.schema.name}
+        registry.counter(
+            "minmax_blocks_scanned_total",
+            "Storage blocks read by predicated scans", labels=("table",),
+        ).inc(scanned, **labels)
+        registry.counter(
+            "minmax_blocks_skipped_total",
+            "Storage blocks MinMax pruning let predicated scans skip",
+            labels=("table",),
+        ).inc(skipped, **labels)
+
     # ------------------------------------------------------------------- loads
 
     def bulk_load(self, columns: Dict[str, np.ndarray],
@@ -212,6 +241,8 @@ class StoredTable:
         )
 
         needed = list(dict.fromkeys(columns))
+        if predicates:
+            self._record_minmax(store, ranges, needed)
         requested = list(needed)
         n_stable = store.n_stable
         may_disorder = self.schema.is_clustered and any(

@@ -152,11 +152,18 @@ class TransactionManager:
                 )
         txn.finished = True
         self._outcomes.inc(outcome="commit")
+        self._emit_outcome(txn, "commit", partitions=len(involved))
 
     def abort(self, txn: DistributedTransaction) -> None:
         txn.parts.clear()
         txn.finished = True
         self._outcomes.inc(outcome="abort")
+        self._emit_outcome(txn, "abort")
+
+    def _emit_outcome(self, txn, outcome: str, **attrs) -> None:
+        events = getattr(self.cluster, "events", None)
+        if events is not None:
+            events.emit("txn", f"2pc_{outcome}", txn=txn.txn_id, **attrs)
 
     # -------------------------------------------------------------- log shipping
 

@@ -35,9 +35,10 @@ class ResourceManager:
     """Cluster-wide resource arbitration."""
 
     def __init__(self, queue_priorities: Dict[str, int] | None = None,
-                 registry=None):
+                 registry=None, events=None):
         # Higher number = higher priority. "default" sits in the middle.
         self.queue_priorities = queue_priorities or {"default": 5}
+        self.events = events  # ClusterEventLog when part of a cluster
         self.node_managers: Dict[str, NodeManager] = {}
         self.applications: Dict[str, YarnApplication] = {}
         self._container_ids = itertools.count(1)
@@ -74,6 +75,8 @@ class ResourceManager:
             raise YarnError(f"unknown node {node}")
         for container in list(nm.containers.values()):
             self._kill(container)
+        if self.events is not None:
+            self.events.emit("yarn", "node_unregistered", node=node)
 
     def cluster_node_reports(self) -> List[NodeReport]:
         """What dbAgent asks for when sizing the worker set."""
@@ -152,6 +155,11 @@ class ResourceManager:
                 break
             self._kill(victim)
             self._preemptions.inc()
+            if self.events is not None:
+                self.events.emit(
+                    "yarn", "preemption", node=nm.node,
+                    victim_app=victim.app_id, for_app=app.app_id,
+                )
 
     def _kill(self, container: Container, notify: bool = True) -> None:
         nm = self.node_managers.get(container.node)
