@@ -111,6 +111,10 @@ def main(outdir: str) -> None:
     (out / "q1_explain.txt").write_text(explain_text + "\n")
     (out / "events.txt").write_text("\n".join(event_lines) + "\n")
     samples = check_prometheus_exposition(prom)
+    # the workload-manager series must be part of the exposition
+    for metric in ("admission_queue_depth", "queries_running",
+                   "query_wait_seconds"):
+        assert metric in prom, f"workload metric missing: {metric}"
 
     print("== SQL statement trace ==")
     print(sql_trace.tree())
@@ -130,7 +134,8 @@ def main(outdir: str) -> None:
         pct = 0.0 if total == 0 else 100.0 * cut / total
         print(f"  {key[0]}: scanned={int(read)} skipped={int(cut)} "
               f"({pct:.1f}% pruned)")
-    print(f"\nmetrics.prom: {samples} samples, exposition OK")
+    print(f"\nmetrics.prom: {samples} samples, exposition OK "
+          f"(incl. workload admission/running/wait series)")
     print(f"wrote {out}/q1_trace.json metrics.prom q1_explain.txt events.txt")
 
 

@@ -31,6 +31,7 @@ from repro.storage.schema import TableSchema
 from repro.storage.table import StoredTable
 from repro.txn.manager import DistributedTransaction, TransactionManager
 from repro.txn.wal import WalManager
+from repro.workload import Session, WorkloadManager
 from repro.yarn.dbagent import DbAgent
 from repro.yarn.manager import ResourceManager
 
@@ -102,6 +103,9 @@ class VectorHCluster:
         self.txn = TransactionManager(self)
         self.executor = MppExecutor(self)
         self.catalog = SystemCatalog(self)
+        self.workload = WorkloadManager(self)
+        # the automatic footprint follows real load, not a guessed count
+        self.dbagent.workload_probe = self.workload.load
 
     # ---------------------------------------------------------------- plumbing
 
@@ -218,15 +222,42 @@ class VectorHCluster:
 
     # ------------------------------------------------------------------- queries
 
+    def session(self) -> Session:
+        """Open a client session on the workload manager."""
+        return self.workload.session()
+
+    def submit(self, plan: LogicalPlan, **kwargs) -> int:
+        """Submit a query for concurrent execution; returns the query id.
+
+        The query is rewritten and enters the admission queue; it runs
+        interleaved with every other admitted query on the shared
+        simulated clock. See :meth:`repro.workload.WorkloadManager.submit`
+        for the keyword options (``flags``, ``trans``, ``timeout``,
+        ``exchange_mode``, ``thread_to_node``, ``trace``,
+        ``memory_estimate``).
+        """
+        return self.workload.submit(plan, **kwargs)
+
+    def gather(self, query_id: int) -> QueryResult:
+        """Drive workload rounds until ``query_id`` finishes; return its
+        result (raising the query's error, or
+        :class:`~repro.common.errors.QueryCancelled` /
+        :class:`~repro.common.errors.QueryTimeout`)."""
+        return self.workload.gather(query_id)
+
     def query(self, plan: LogicalPlan,
               flags: Optional[RewriterFlags] = None,
               trans: Optional[DistributedTransaction] = None,
               exchange_mode: str = "streaming",
               thread_to_node: bool = True,
-              trace: bool = False) -> QueryResult:
+              trace: bool = False,
+              timeout: Optional[float] = None) -> QueryResult:
         """Optimize and execute a logical plan; returns the result batch
         plus execution statistics (network, IO, memory, profile).
 
+        A submit+gather shim over the workload manager: the query goes
+        through admission like any other and any previously submitted
+        queries interleave with it while it is gathered.
         ``exchange_mode``/``thread_to_node`` tune the DXchg layer: see
         :meth:`repro.mpp.executor.MppExecutor.execute`. With ``trace``
         the result carries the lifecycle span tree
@@ -234,28 +265,12 @@ class VectorHCluster:
         operator and exchange spans grafted under execute); the last
         trace is always available as ``cluster.tracer.last_trace``.
         """
-        with self.tracer.span("query") as root:
-            with self.tracer.span("rewrite"):
-                phys = ParallelRewriter(self, flags).rewrite(plan)
-            with self.tracer.span("assignment") as aspan:
-                from repro.mpp.logical import LScan
-                scans = [n for n in plan.walk() if isinstance(n, LScan)]
-                tables = sorted({s.table for s in scans})
-                aspan.attrs["tables"] = ",".join(tables) or "-"
-                aspan.attrs["partitions"] = sum(
-                    self.table(t).n_partitions for t in tables
-                )
-            result = self.executor.execute(phys, trans=trans,
-                                           exchange_mode=exchange_mode,
-                                           thread_to_node=thread_to_node)
-            with self.tracer.span("commit", implicit=trans is None):
-                # read-only statements end with an (empty) implicit
-                # commit releasing the snapshot; DML commits run the
-                # real 2PC under their own commit span via the manager
-                pass
-        if trace:
-            result.trace = root
-        return result
+        query_id = self.workload.submit(
+            plan, flags=flags, trans=trans, timeout=timeout,
+            exchange_mode=exchange_mode, thread_to_node=thread_to_node,
+            trace=trace,
+        )
+        return self.workload.gather(query_id)
 
     def explain(self, plan: LogicalPlan,
                 flags: Optional[RewriterFlags] = None) -> str:

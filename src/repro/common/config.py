@@ -29,6 +29,17 @@ class Config:
     # --- YARN / workload management -----------------------------------------
     cores_per_node: int = 20
     memory_per_node_mb: int = 256 * 1024
+    #: per-node byte budget for admitted queries (0 = unlimited): a query
+    #: whose estimated footprint does not fit next to the live usage of
+    #: the running queries waits in the admission queue
+    workload_memory_budget_mb: int = 0
+    #: cap on concurrently admitted queries (0 = derive from YARN core
+    #: slots: slices * slice_cores, falling back to cores_per_node)
+    workload_max_concurrent: int = 0
+    #: charge simulated time from a deterministic per-tuple cost model
+    #: instead of measured wall time (two identical runs then produce
+    #: identical clocks -- required for reproducible concurrency runs)
+    workload_deterministic: bool = False
 
     # --- PDT / transactions (paper section 6) --------------------------------
     write_pdt_flush_threshold: int = 4096  # updates before Write->Read move

@@ -47,3 +47,24 @@ class ConstraintViolation(TransactionAborted):
 
 class SqlError(ReproError):
     """Raised by the SQL front-end (lex/parse/bind errors)."""
+
+
+class QueryCancelled(ExecutionError):
+    """Raised by ``gather()`` when the query was cancelled before finishing.
+
+    Carries the query id and the cancel reason (``"cancelled"`` for an
+    explicit :meth:`Session.cancel`, ``"timeout"`` when the per-query
+    deadline expired on the simulated clock).
+    """
+
+    def __init__(self, query_id: int, reason: str = "cancelled"):
+        super().__init__(f"query {query_id} {reason}")
+        self.query_id = query_id
+        self.reason = reason
+
+
+class QueryTimeout(QueryCancelled):
+    """A query exceeded its ``timeout=`` budget on the simulated clock."""
+
+    def __init__(self, query_id: int):
+        super().__init__(query_id, "timeout")

@@ -38,23 +38,67 @@ DONE = object()
 
 class MemoryMeter:
     """Tracks current and peak bytes held per node (operator state,
-    channel buffers, receive queues)."""
+    channel buffers, receive queues).
 
-    def __init__(self):
+    A meter may chain to a ``parent``: every hold/release is forwarded,
+    so a per-query meter rolls up into the workload manager's
+    cluster-wide meter, whose ``current`` is the live usage admission
+    control checks against its per-node budget.
+    """
+
+    def __init__(self, parent: Optional["MemoryMeter"] = None):
         self.current: Dict[str, int] = {}
         self.peak: Dict[str, int] = {}
+        self.parent = parent
 
     def hold(self, node: str, n_bytes: int) -> None:
         cur = self.current.get(node, 0) + n_bytes
         self.current[node] = cur
         if cur > self.peak.get(node, 0):
             self.peak[node] = cur
+        if self.parent is not None:
+            self.parent.hold(node, n_bytes)
 
     def release(self, node: str, n_bytes: int) -> None:
         self.current[node] = self.current.get(node, 0) - n_bytes
+        if self.parent is not None:
+            self.parent.release(node, n_bytes)
 
     def peak_by_node(self) -> Dict[str, int]:
         return dict(self.peak)
+
+    def detach(self) -> None:
+        """Give back any residual bytes to the parent and unchain.
+
+        Pipeline breakers (hash builds, sort buffers) charge state that
+        is only dropped with the operator tree, after the meter stopped
+        mattering for a single query -- but a chained parent outlives the
+        query and must not keep phantom usage.
+        """
+        if self.parent is not None:
+            for node, cur in self.current.items():
+                if cur:
+                    self.parent.release(node, cur)
+            self.parent = None
+
+
+class BatchCostModel:
+    """Deterministic per-pull cost for :class:`StreamScheduler`.
+
+    Replaces measured wall time with ``per_pull + n_tuples * per_tuple``
+    so that two identical runs charge identical simulated time (the
+    reproducibility contract of the workload-manager benchmarks). The
+    constants approximate a ~10M tuple/s/core engine with a small fixed
+    dispatch overhead per vector pull.
+    """
+
+    def __init__(self, per_tuple_s: float = 1e-7, per_pull_s: float = 2e-6):
+        self.per_tuple_s = per_tuple_s
+        self.per_pull_s = per_pull_s
+
+    def __call__(self, item) -> float:
+        n = getattr(item, "n", 0) if item is not DONE else 0
+        return self.per_pull_s + n * self.per_tuple_s
 
 
 class StreamScheduler:
@@ -67,16 +111,34 @@ class StreamScheduler:
     senders' work). ``charge_round`` adds the slowest self-time of a round
     to the simulated clock -- concurrent streams overlap, so only the
     slowest one is on the critical path.
+
+    With a ``cost_model`` the charged time is computed from the pulled
+    item instead of measured (deterministic runs). As the cluster-wide
+    scheduler of a :class:`~repro.workload.WorkloadManager`, the turn
+    protocol extends the same overlap rule across queries: charges made
+    between ``begin_turn``/``end_turn`` accumulate into one per-query
+    turn cost, and ``charge_concurrent`` applies only the slowest turn of
+    each global round -- queries on disjoint core slots run concurrently,
+    so only the slowest one is on the round's critical path.
     """
 
-    def __init__(self, clock=None):
+    def __init__(self, clock=None, cost_model=None):
         self.sim_seconds = 0.0
         #: optional cluster-wide :class:`repro.obs.SimClock`, advanced in
         #: lockstep so tracer spans can read simulated time live
         self.clock = clock
+        #: optional ``item -> seconds`` replacing wall measurement
+        self.cost_model = cost_model
         self._nested = [0.0]
+        self._turn: Optional[float] = None
 
     def advance(self, iterator) -> Tuple[object, float]:
+        if self.cost_model is not None:
+            try:
+                item = next(iterator)
+            except StopIteration:
+                item = DONE
+            return item, self.cost_model(item)
         t0 = _time.perf_counter()
         self._nested.append(0.0)
         try:
@@ -94,9 +156,32 @@ class StreamScheduler:
         times = list(self_times)
         if times:
             dt = max(times)
-            self.sim_seconds += dt
-            if self.clock is not None:
-                self.clock.advance(dt)
+            if self._turn is not None:
+                self._turn += dt
+            else:
+                self._apply(dt)
+
+    # ---- cross-query turns (workload manager) -------------------------
+
+    def begin_turn(self) -> None:
+        """Start buffering charges into one query's turn cost."""
+        self._turn = 0.0
+
+    def end_turn(self) -> float:
+        """Close the turn; returns its total cost without charging it."""
+        cost, self._turn = self._turn or 0.0, None
+        return cost
+
+    def charge_concurrent(self, turn_costs: Iterable[float]) -> None:
+        """Charge one global round: the slowest query's turn only."""
+        costs = list(turn_costs)
+        if costs:
+            self._apply(max(costs))
+
+    def _apply(self, dt: float) -> None:
+        self.sim_seconds += dt
+        if self.clock is not None:
+            self.clock.advance(dt)
 
 
 #: route(src_stream, batch) -> [(dest_stream, piece), ...]
@@ -296,6 +381,36 @@ class Exchange:
                 self.meter.release(chan.src, released)
         self.finished = True
         self._record_metrics()
+
+    def drain_queues(self) -> None:
+        """Discard undelivered queue contents, releasing their memory.
+
+        A Limit/TopN root (or a cancelled query) abandons receivers with
+        data still parked in receive queues; those bytes are held in the
+        meter and must be given back once the query is over.
+        """
+        for stream, queue in self.queues.items():
+            while queue:
+                n_bytes, _batch = queue.popleft()
+                self._queued_bytes -= n_bytes
+                self.meter.release(self.node_of(stream), n_bytes)
+
+    def abandon(self) -> None:
+        """Tear down a cancelled query's exchange without sending more.
+
+        Unlike :meth:`_finish`, buffered channel bytes are *dropped*
+        (no end-of-stream flush hits the fabric) and the receive queues
+        are drained; lifetime metrics are still recorded.
+        """
+        if not self.finished:
+            for chan in self.channels.values():
+                released = chan.buffered
+                chan.abort()
+                if released > 0 and not chan.local:
+                    self.meter.release(chan.src, released)
+            self.finished = True
+            self._record_metrics()
+        self.drain_queues()
 
     def _record_metrics(self) -> None:
         """Charge this exchange's lifetime totals and high-water marks to

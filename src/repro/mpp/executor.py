@@ -88,6 +88,12 @@ class QueryResult:
     exchanges: List[Dict[str, object]] = field(default_factory=list)
     #: lifecycle span tree (set when the query ran with ``trace=True``)
     trace: Optional[Span] = None
+    #: scheduler rounds this query's root stream took to drain
+    rounds: int = 0
+    #: workload-manager id (None for direct executor calls)
+    query_id: Optional[int] = None
+    #: simulated seconds spent waiting in the admission queue
+    wait_sim_seconds: float = 0.0
 
     def format_profile(self) -> str:
         return "\n".join(format_profile(p) for p in self.profiles)
@@ -155,13 +161,16 @@ class _RunContext:
     """
 
     def __init__(self, trans, mode: str, n_lanes: int, vector_size: int,
-                 clock=None):
+                 clock=None, scheduler: Optional[StreamScheduler] = None,
+                 meter: Optional[MemoryMeter] = None):
         self.trans = trans
         self.mode = mode
         self.n_lanes = n_lanes
         self.vector_size = vector_size
-        self.scheduler = StreamScheduler(clock)
-        self.meter = MemoryMeter()
+        #: private per-query scheduler by default; the workload manager
+        #: injects its shared cluster-wide scheduler instead
+        self.scheduler = scheduler or StreamScheduler(clock)
+        self.meter = meter or MemoryMeter()
         self.exchanges: Dict[P.PhysNode, Exchange] = {}
         self.exchange_order: List[Exchange] = []
         self.replays: Dict[P.PhysNode, "_SharedReplay"] = {}
@@ -272,6 +281,130 @@ class ReplaySource(Operator):
             yield batch
 
 
+class QueryRun:
+    """A prepared query that can be suspended and resumed between rounds.
+
+    :meth:`MppExecutor.prepare` builds the operator tree and returns one
+    of these; each :meth:`step` pulls exactly one item from the root
+    stream through the scheduler (one round), so a workload manager can
+    interleave many live queries on one shared scheduler. Network, IO
+    and wall deltas are snapshotted around every step -- execution is
+    single-threaded, so the attribution is exact even when queries from
+    different sessions interleave on the same fabric.
+    """
+
+    def __init__(self, executor: "MppExecutor", root: P.PhysNode,
+                 op: Operator, ctx: _RunContext, build_wall: float):
+        self.executor = executor
+        self.cluster = executor.cluster
+        self.root = root
+        self.op = op
+        self.ctx = ctx
+        self.batches: List[Batch] = []
+        self.rounds = 0
+        self.done = False
+        self.cancelled = False
+        self.build_wall = build_wall
+        self.step_wall = 0.0
+        self.flush_wall = 0.0
+        self.network_bytes = 0
+        self.network_messages = 0
+        self.bytes_read = 0
+        #: shared-scheduler position at prepare; latency = clock - this
+        self.sim_start = ctx.scheduler.sim_seconds
+        self._iterator = None
+        self._result: Optional[QueryResult] = None
+
+    # -- accounting helpers --------------------------------------------------
+
+    def _io_snapshot(self):
+        mpi = self.cluster.mpi
+        return (mpi.total_bytes, mpi.total_messages,
+                self.cluster.hdfs.total_bytes_read())
+
+    def _io_charge(self, before) -> None:
+        mpi = self.cluster.mpi
+        self.network_bytes += mpi.total_bytes - before[0]
+        self.network_messages += mpi.total_messages - before[1]
+        self.bytes_read += self.cluster.hdfs.total_bytes_read() - before[2]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Advance the root stream by one scheduler round.
+
+        Returns True while the query has more work (another step will
+        make progress); False once the root stream is drained.
+        """
+        if self.done or self.cancelled:
+            return False
+        before = self._io_snapshot()
+        t0 = _time.perf_counter()
+        if self._iterator is None:
+            self._iterator = self.op.execute()
+        item, dt = self.ctx.scheduler.advance(self._iterator)
+        self.ctx.scheduler.charge_round([dt])
+        self.rounds += 1
+        self.step_wall += _time.perf_counter() - t0
+        self._io_charge(before)
+        if item is DONE:
+            self.done = True
+            return False
+        self.batches.append(item)
+        return True
+
+    def finish(self) -> QueryResult:
+        """Flush exchanges, assemble profiles and build the result."""
+        if self._result is not None:
+            return self._result
+        before = self._io_snapshot()
+        t0 = _time.perf_counter()
+        # a Limit/TopN root may abandon receivers mid-stream: close
+        # remaining channels so partial buffers are flushed/accounted,
+        # then give back any bytes still parked in receive queues
+        for ex in self.ctx.exchange_order:
+            ex._finish()
+            ex.drain_queues()
+        self.flush_wall = _time.perf_counter() - t0
+        self._io_charge(before)
+        profiles = self.executor._assemble_profiles(self.op, self.ctx)
+        self.executor._record_metrics(self.ctx)
+        self._result = QueryResult(
+            batch=concat_batches(self.batches),
+            elapsed=self.build_wall + self.step_wall + self.flush_wall,
+            simulated_parallel_seconds=(
+                self.ctx.scheduler.sim_seconds - self.sim_start),
+            network_bytes=self.network_bytes,
+            network_messages=self.network_messages,
+            bytes_read=self.bytes_read,
+            profiles=profiles,
+            plan_text=self.root.pretty(),
+            peak_node_memory=self.ctx.meter.peak_by_node(),
+            exchanges=[ex.stats() for ex in self.ctx.exchange_order],
+            rounds=self.rounds,
+        )
+        self.ctx.meter.detach()
+        return self._result
+
+    def cancel(self) -> None:
+        """Unwind a suspended query: close its generators (releasing scan
+        holds via their ``finally`` blocks), drop buffered channel bytes
+        without flushing them to the fabric, drain receive queues, and
+        give residual operator-state bytes back to any parent meter."""
+        if self.cancelled or self._result is not None:
+            return
+        self.cancelled = True
+        self.done = True
+        if self._iterator is not None:
+            self._iterator.close()
+        for ex in self.ctx.exchange_order:
+            for state in ex.senders:
+                if state.iterator is not None:
+                    state.iterator.close()
+            ex.abandon()
+        self.ctx.meter.detach()
+
+
 class MppExecutor:
     """Runs physical plans against a VectorH cluster object."""
 
@@ -280,10 +413,41 @@ class MppExecutor:
 
     # ------------------------------------------------------------------ public
 
+    def prepare(self, root: P.PhysNode, trans=None,
+                exchange_mode: str = STREAMING,
+                thread_to_node: bool = True,
+                scheduler: Optional[StreamScheduler] = None,
+                meter: Optional[MemoryMeter] = None) -> QueryRun:
+        """Build the operator tree for a plan without driving it.
+
+        Returns a :class:`QueryRun` to be stepped to completion. Pass
+        ``scheduler``/``meter`` to run on a shared cluster-wide scheduler
+        and roll memory accounting up into a shared meter (the workload
+        manager's concurrency path); by default each run gets private
+        ones, which preserves the old single-query behaviour exactly.
+        """
+        cluster = self.cluster
+        ctx = _RunContext(
+            trans=trans, mode=exchange_mode,
+            n_lanes=1 if thread_to_node else cluster.config.cores_per_node,
+            vector_size=cluster.config.vector_size,
+            clock=getattr(cluster, "sim_clock", None),
+            scheduler=scheduler, meter=meter,
+        )
+        t0 = _time.perf_counter()
+        top = root
+        if top.distribution.kind == P.PARTITIONED:
+            # final gather at the session master (normally the
+            # rewriter inserts this; raw plans get it implicitly)
+            top = P.DXUnion(top)
+        op = self._build_op(top, MASTER_STREAM, ctx)
+        return QueryRun(self, root, op, ctx,
+                        build_wall=_time.perf_counter() - t0)
+
     def execute(self, root: P.PhysNode, trans=None,
                 exchange_mode: str = STREAMING,
                 thread_to_node: bool = True) -> QueryResult:
-        """Execute a physical plan.
+        """Prepare a physical plan and drive it to completion.
 
         ``exchange_mode`` selects how exchange sender fragments are
         scheduled: ``"streaming"`` (default) advances them round-robin one
@@ -294,64 +458,23 @@ class MppExecutor:
         section 5): one open buffer per destination node, or one per
         destination *core* (``n_lanes = cores_per_node``).
         """
-        cluster = self.cluster
-        tracer = getattr(cluster, "tracer", None) or NULL_TRACER
-        ctx = _RunContext(
-            trans=trans, mode=exchange_mode,
-            n_lanes=1 if thread_to_node else cluster.config.cores_per_node,
-            vector_size=cluster.config.vector_size,
-            clock=getattr(cluster, "sim_clock", None),
-        )
-        mpi = cluster.mpi
-        net0_bytes, net0_msgs = mpi.total_bytes, mpi.total_messages
-        read0 = cluster.hdfs.total_bytes_read()
-        start = _time.perf_counter()
-
+        tracer = getattr(self.cluster, "tracer", None) or NULL_TRACER
         with tracer.span("execute", mode=exchange_mode) as exec_span:
             with tracer.span("build"):
-                top = root
-                if top.distribution.kind == P.PARTITIONED:
-                    # final gather at the session master (normally the
-                    # rewriter inserts this; raw plans get it implicitly)
-                    top = P.DXUnion(top)
-                op = self._build_op(top, MASTER_STREAM, ctx)
-
-            batches: List[Batch] = []
+                run = self.prepare(root, trans=trans,
+                                   exchange_mode=exchange_mode,
+                                   thread_to_node=thread_to_node)
             with tracer.span("schedule"):
-                iterator = op.execute()
-                while True:
-                    item, dt = ctx.scheduler.advance(iterator)
-                    ctx.scheduler.charge_round([dt])
-                    if item is DONE:
-                        break
-                    batches.append(item)
-            # a Limit/TopN root may abandon receivers mid-stream: close
-            # remaining channels so partial buffers are flushed/accounted
+                while run.step():
+                    pass
             with tracer.span("exchange.flush",
-                             exchanges=len(ctx.exchange_order)):
-                for ex in ctx.exchange_order:
-                    ex._finish()
-        elapsed = _time.perf_counter() - start
-
-        profiles = self._assemble_profiles(op, ctx)
+                             exchanges=len(run.ctx.exchange_order)):
+                result = run.finish()
         # the trace subsumes format_profile: per-stream operator work and
         # exchange send/recv appear as spans under the execute span
-        for prof in profiles:
+        for prof in result.profiles:
             span_from_profile(prof, exec_span)
-        self._record_metrics(ctx)
-
-        return QueryResult(
-            batch=concat_batches(batches),
-            elapsed=elapsed,
-            simulated_parallel_seconds=ctx.scheduler.sim_seconds,
-            network_bytes=mpi.total_bytes - net0_bytes,
-            network_messages=mpi.total_messages - net0_msgs,
-            bytes_read=cluster.hdfs.total_bytes_read() - read0,
-            profiles=profiles,
-            plan_text=root.pretty(),
-            peak_node_memory=ctx.meter.peak_by_node(),
-            exchanges=[ex.stats() for ex in ctx.exchange_order],
-        )
+        return result
 
     def _record_metrics(self, ctx: "_RunContext") -> None:
         """Charge per-node stream times and peak memory to the registry."""

@@ -240,3 +240,12 @@ class DXchgChannel:
                 self.buffered -= self.lanes[lane]
                 self.lanes[lane] = 0
                 self.messages_sent += 1
+
+    def abort(self) -> None:
+        """Cancelled query: drop buffered bytes without touching the wire."""
+        if self.closed:
+            return
+        self.closed = True
+        for lane in range(self.n_lanes):
+            self.buffered -= self.lanes[lane]
+            self.lanes[lane] = 0

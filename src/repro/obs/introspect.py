@@ -2,11 +2,12 @@
 
 The cluster describes itself through its own SQL engine:
 
-* **System tables** -- :class:`SystemCatalog` registers seven virtual
+* **System tables** -- :class:`SystemCatalog` registers eight virtual
   ``vh$`` tables (:data:`SYSTEM_TABLES`) whose partitions are live
   snapshots of the metrics registry, the HDFS block map, per-column
   compression statistics, PDT overlay sizes, the cluster event log and
-  the tracer's finished-query ring. A :class:`VirtualTable` quacks like a
+  the workload manager's query/session records (including queued,
+  running and cancelled queries). A :class:`VirtualTable` quacks like a
   :class:`~repro.storage.table.StoredTable` (schema, replication,
   ``scan_partition``), so the binder, rewriter and streaming executor
   treat them exactly like replicated base tables -- a ``SELECT`` against
@@ -198,14 +199,50 @@ def _events_rows(cluster) -> List[tuple]:
 
 
 def _queries_rows(cluster) -> List[tuple]:
+    """One row per workload-manager query, including live ones.
+
+    Sourced from the manager's records rather than the tracer ring or
+    the registry, so queued/running/cancelled queries are visible while
+    in flight and the table survives ``metrics().reset()``.
+    """
+    import time as _time
+    wm = getattr(cluster, "workload", None)
+    if wm is None:
+        return []
+    now_wall = _time.perf_counter()
+    now_sim = cluster.sim_clock.seconds
     rows = []
-    for seq, span in enumerate(cluster.tracer.finished):
-        statement = str(span.attrs.get("statement", ""))
-        n_spans = sum(1 for _ in span.iter_spans())
-        rows.append((seq, span.name, statement,
-                     span.wall_seconds * 1e3, span.sim_seconds * 1e3,
-                     n_spans))
+    for rec in wm.query_records():
+        live = rec.state in ("queued", "running")
+        end_wall = now_wall if live else rec.finish_wall
+        end_sim = now_sim if live else rec.finish_sim
+        rows.append((
+            rec.query_id, rec.session_id, rec.state, rec.root_label,
+            rec.statement,
+            (end_wall - rec.submit_wall) * 1e3,
+            (end_sim - rec.submit_sim) * 1e3,
+            rec.wait_sim * 1e3, rec.rounds,
+        ))
     return rows
+
+
+def _sessions_rows(cluster) -> List[tuple]:
+    wm = getattr(cluster, "workload", None)
+    if wm is None:
+        return []
+    states = ("queued", "running", "finished", "cancelled", "failed")
+    per: Dict[int, Dict[str, int]] = {
+        sid: dict.fromkeys(states, 0) for sid in wm.sessions()
+    }
+    for rec in wm.query_records():
+        entry = per.setdefault(rec.session_id, dict.fromkeys(states, 0))
+        entry[rec.state] = entry.get(rec.state, 0) + 1
+    return [
+        (sid, sum(entry.values()),
+         entry["queued"], entry["running"], entry["finished"],
+         entry["cancelled"], entry["failed"])
+        for sid, entry in sorted(per.items())
+    ]
 
 
 def _schema(name: str, columns: List[Tuple[str, ColumnType]]) -> TableSchema:
@@ -244,9 +281,15 @@ SYSTEM_TABLES = (
       ("source", STRING), ("kind", STRING), ("detail", STRING)],
      _events_rows),
     ("vh$queries",
-     [("seq", INT64), ("root", STRING), ("statement", STRING),
-      ("wall_ms", FLOAT64), ("sim_ms", FLOAT64), ("spans", INT64)],
+     [("query", INT64), ("session", INT64), ("state", STRING),
+      ("root", STRING), ("statement", STRING), ("wall_ms", FLOAT64),
+      ("sim_ms", FLOAT64), ("wait_ms", FLOAT64), ("rounds", INT64)],
      _queries_rows),
+    ("vh$sessions",
+     [("session", INT64), ("queries", INT64), ("queued", INT64),
+      ("running", INT64), ("finished", INT64), ("cancelled", INT64),
+      ("failed", INT64)],
+     _sessions_rows),
 )
 
 

@@ -162,6 +162,18 @@ class Tracer:
     def current(self) -> Optional[Span]:
         return self._stack[-1] if self._stack else None
 
+    def publish(self, span: Span) -> None:
+        """Record an externally-assembled root span.
+
+        The workload manager builds span trees by hand (its queries
+        interleave, so the tracer's single stack cannot nest them) and
+        publishes each finished tree here, making it visible to
+        ``last_trace`` / ``finished`` / ``vh$queries`` exactly like a
+        stack-recorded root.
+        """
+        self.last_trace = span
+        self.finished.append(span)
+
     @contextmanager
     def span(self, name: str, **attrs) -> Iterator[Span]:
         s = Span(name=name, attrs=attrs)

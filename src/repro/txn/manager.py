@@ -96,6 +96,25 @@ class TransactionManager:
     def begin(self) -> DistributedTransaction:
         return DistributedTransaction(next(self._txn_ids), self)
 
+    def pin_snapshot(self, txn: DistributedTransaction,
+                     parts) -> int:
+        """Materialize the transaction's snapshot of ``parts`` *now*.
+
+        ``parts`` is an iterable of ``(table, pid)``. Trans-PDTs are
+        normally created lazily at first touch, which is correct for a
+        query that runs to completion immediately -- but a query admitted
+        by the workload manager may be suspended for many rounds while
+        concurrent DML commits. Pinning every scanned partition's
+        Trans-PDT at admission captures the PDT layer references of that
+        instant (commits are copy-on-write), so a suspended reader keeps
+        a stable snapshot no matter what commits while it waits.
+        """
+        pinned = 0
+        for table, pid in parts:
+            txn.trans_for(table, pid)
+            pinned += 1
+        return pinned
+
     # ------------------------------------------------------------------ commit
 
     def commit(self, txn: DistributedTransaction) -> None:

@@ -1,0 +1,34 @@
+"""Workload management: concurrent, admission-controlled queries.
+
+The execution core used to be query-at-a-time: :meth:`VectorHCluster.query`
+built a private stream scheduler, drove it to completion and returned.
+This package refactors that control loop around *many* live queries:
+
+* :class:`WorkloadManager` -- owns one cluster-wide
+  :class:`~repro.engine.exchange.StreamScheduler` (on the shared
+  :class:`~repro.obs.SimClock`) and one cluster-wide
+  :class:`~repro.engine.exchange.MemoryMeter`; admitted queries are
+  suspended :class:`~repro.mpp.executor.QueryRun`\\ s, advanced one turn
+  each per global round.
+* :class:`AdmissionController` -- decides, strictly FIFO, whether the
+  next queued query fits under the per-node core slots (from the YARN
+  footprint dbAgent holds) and the per-node memory budget next to the
+  live usage of the running queries.
+* :class:`Session` -- a client handle: ``submit``/``gather``/``cancel``.
+"""
+
+from repro.workload.manager import (
+    AdmissionController,
+    QueryRecord,
+    Session,
+    WorkloadManager,
+    estimate_query_memory,
+)
+
+__all__ = [
+    "AdmissionController",
+    "QueryRecord",
+    "Session",
+    "WorkloadManager",
+    "estimate_query_memory",
+]

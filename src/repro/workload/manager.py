@@ -1,0 +1,643 @@
+"""The workload manager: VectorH's multi-query control loop (paper §4).
+
+VectorH runs as a long-lived multi-user service: the YARN dbAgent grows
+and shrinks the footprint "based on query load", and the DXchg buffer
+memory math exists because many streams share each node's memory. This
+module is the control loop that makes those statements meaningful in the
+reproduction: N queries run *interleaved on one shared simulated clock*.
+
+Scheduling model
+----------------
+Every admitted query is a suspended :class:`~repro.mpp.executor.QueryRun`
+on the manager's shared :class:`StreamScheduler`. One *global round*
+gives each running query one *turn*: a single root-stream pull, which
+internally advances that query's exchange sender fragments one vector
+each. All the scheduler charges a turn makes are buffered
+(``begin_turn``/``end_turn``) and the round then charges only the
+slowest query's turn (``charge_concurrent``) -- admission guarantees the
+concurrent queries hold disjoint core slots, so their turns genuinely
+overlap and only the slowest is on the round's critical path. This is
+the same max-of-streams rule the per-query scheduler already applied
+within a query, lifted one level up; it is why the interleaved makespan
+of N queries is strictly below the sum of their serial runtimes.
+
+Admission
+---------
+Strict FIFO, no bypass. A query is admitted when (i) a core slot is
+free on every node -- one admitted query pins one core per node, slots
+come from the dbAgent's negotiated footprint (slices * slice cores),
+falling back to ``config.cores_per_node`` -- and (ii) its conservative
+per-node memory estimate fits under ``workload_memory_budget_mb`` next
+to the *live* usage of the running queries, measured by the shared
+:class:`MemoryMeter` every per-query meter chains into. The queue head
+is force-admitted when nothing is running (a single over-budget query
+must run alone, not deadlock the queue).
+
+Snapshots
+---------
+The query's transaction snapshot is pinned at *admission*
+(:meth:`TransactionManager.pin_snapshot`): every scanned partition's
+Trans-PDT is created then, capturing the PDT layer references of that
+instant. Commits are copy-on-write, so a reader suspended for many
+rounds keeps a stable snapshot while concurrent DML commits -- snapshot
+isolation under genuine interleaving, with write-write conflicts still
+aborting in 2PC prepare.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time as _time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ExecutionError, QueryCancelled, QueryTimeout
+from repro.engine.exchange import (
+    BatchCostModel,
+    MemoryMeter,
+    STREAMING,
+    StreamScheduler,
+)
+from repro.mpp import plan as P
+from repro.mpp.executor import QueryResult, QueryRun
+from repro.mpp.rewriter import ParallelRewriter
+from repro.obs import Span, span_from_profile
+
+QUEUED = "queued"
+RUNNING = "running"
+FINISHED = "finished"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: headroom factor on plan-derived memory estimates (hash builds and
+#: sort buffers hold input-sized state the plan walk cannot see exactly)
+_ESTIMATE_SAFETY = 1.5
+
+
+def _walk_phys(node: P.PhysNode):
+    yield node
+    for child in node.children:
+        yield from _walk_phys(child)
+
+
+def estimate_query_memory(cluster, phys: P.PhysNode,
+                          thread_to_node: bool = True) -> Dict[str, int]:
+    """Conservative per-node byte estimate for admission control.
+
+    Scans contribute twice the decompressed bytes of the table's largest
+    partition (the streaming scan holds one partition plus its vector
+    slices); each exchange contributes its allocated channel capacity
+    (the paper's ``2 * n_lanes * message_size`` per link, the same math
+    :func:`repro.net.mpi.dxchg_buffer_memory` captures) on every sender
+    node plus one landing allowance on each destination. The total gets
+    a safety factor for pipeline-breaker state.
+    """
+    workers = list(cluster.workers)
+    per_node: Dict[str, int] = dict.fromkeys(workers, 0)
+    master = cluster.session_master
+    per_node.setdefault(master, 0)
+    message_size = cluster.config.mpi_message_size
+    n_lanes = 1 if thread_to_node else cluster.config.cores_per_node
+    for node in _walk_phys(phys):
+        if isinstance(node, P.PScan):
+            table = cluster.table(node.table)
+            if getattr(table, "is_virtual", False):
+                continue
+            width = 8 * max(1, len(node.columns))
+            biggest = max((p.n_stable for p in table.partitions), default=0)
+            for w in workers:
+                per_node[w] += 2 * biggest * width
+        elif isinstance(node, P.DXchg):
+            capacity = 2 * n_lanes * message_size * max(1, len(workers))
+            for w in workers:
+                per_node[w] += capacity
+            per_node[master] += 2 * n_lanes * message_size
+    return {n: int(_ESTIMATE_SAFETY * v) for n, v in per_node.items()}
+
+
+@dataclass
+class QueryRecord:
+    """Everything the manager knows about one submitted query."""
+
+    query_id: int
+    session_id: int
+    phys: P.PhysNode
+    statement: str = ""
+    root_label: str = "query"
+    state: str = QUEUED
+    exchange_mode: str = STREAMING
+    thread_to_node: bool = True
+    trace: bool = False
+    timeout: Optional[float] = None
+    trans: object = None
+    own_txn: bool = False
+    memory_estimate: Dict[str, int] = field(default_factory=dict)
+    queue_reason: str = ""
+    cancel_reason: str = ""
+    error: Optional[BaseException] = None
+    run: Optional[QueryRun] = None
+    result: Optional[QueryResult] = None
+    submit_wall: float = 0.0
+    submit_sim: float = 0.0
+    admit_wall: float = 0.0
+    admit_sim: float = 0.0
+    finish_wall: float = 0.0
+    finish_sim: float = 0.0
+    wait_sim: float = 0.0
+    root_span: Optional[Span] = None
+    trace_parent: Optional[Span] = None
+
+    @property
+    def rounds(self) -> int:
+        return self.run.rounds if self.run is not None else 0
+
+
+class AdmissionController:
+    """Decides whether the queue head may start now (strict FIFO).
+
+    * **Core slots**: every running query pins one core per node; the
+      per-node slot count comes from the footprint the dbAgent currently
+      holds from YARN (slices * slice cores), falling back to the
+      configured cores per node when no slices were negotiated.
+    * **Memory**: the candidate's per-node estimate must fit under the
+      budget next to the live usage of every running query, as measured
+      by the shared meter.
+    """
+
+    def __init__(self, cluster,
+                 memory_budget_per_node: Optional[int] = None,
+                 max_concurrent: Optional[int] = None):
+        self.cluster = cluster
+        self.memory_budget_per_node = memory_budget_per_node
+        self.max_concurrent = max_concurrent
+
+    def core_slots(self) -> int:
+        if self.max_concurrent:
+            return self.max_concurrent
+        dbagent = getattr(self.cluster, "dbagent", None)
+        if dbagent is not None and dbagent.slices:
+            granted = [c for c in dbagent.current_footprint().values() if c]
+            if granted:
+                return min(granted)
+        return self.cluster.config.cores_per_node
+
+    def decide(self, record: QueryRecord, n_running: int,
+               meter: MemoryMeter) -> Tuple[bool, str]:
+        slots = self.core_slots()
+        if n_running >= slots:
+            return False, f"core slots exhausted ({n_running}/{slots})"
+        if self.memory_budget_per_node is not None:
+            for node, estimate in record.memory_estimate.items():
+                live = meter.current.get(node, 0)
+                if live + estimate > self.memory_budget_per_node:
+                    return False, (
+                        f"memory budget on {node}: live {live} + "
+                        f"estimate {estimate} > "
+                        f"{self.memory_budget_per_node}")
+        return True, "ok"
+
+
+class Session:
+    """A client's handle on the workload manager."""
+
+    def __init__(self, manager: "WorkloadManager", session_id: int):
+        self.manager = manager
+        self.session_id = session_id
+        self.query_ids: List[int] = []
+
+    def submit(self, plan, **kwargs) -> int:
+        qid = self.manager.submit(plan, session=self.session_id, **kwargs)
+        self.query_ids.append(qid)
+        return qid
+
+    def gather(self, query_id: int) -> QueryResult:
+        return self.manager.gather(query_id)
+
+    def cancel(self, query_id: int) -> bool:
+        return self.manager.cancel(query_id)
+
+    def query(self, plan, **kwargs) -> QueryResult:
+        return self.gather(self.submit(plan, **kwargs))
+
+
+class WorkloadManager:
+    """Concurrent, admission-controlled multi-query scheduling."""
+
+    def __init__(self, cluster,
+                 memory_budget_per_node: Optional[int] = None,
+                 max_concurrent: Optional[int] = None,
+                 deterministic: Optional[bool] = None):
+        self.cluster = cluster
+        config = cluster.config
+        if memory_budget_per_node is None:
+            budget_mb = getattr(config, "workload_memory_budget_mb", 0)
+            memory_budget_per_node = (budget_mb * 1024 * 1024
+                                      if budget_mb else None)
+        if max_concurrent is None:
+            max_concurrent = getattr(config, "workload_max_concurrent", 0)
+        if deterministic is None:
+            deterministic = getattr(config, "workload_deterministic", False)
+        cost_model = BatchCostModel() if deterministic else None
+        self.deterministic = bool(deterministic)
+        #: the cluster-wide scheduler: every admitted query's rounds are
+        #: charged here, against the cluster's one simulated clock
+        self.scheduler = StreamScheduler(
+            getattr(cluster, "sim_clock", None), cost_model=cost_model)
+        #: cluster-wide live memory; per-query meters chain into it
+        self.meter = MemoryMeter()
+        self.admission = AdmissionController(
+            cluster, memory_budget_per_node, max_concurrent or None)
+        self._records: "OrderedDict[int, QueryRecord]" = OrderedDict()
+        self._queue: deque = deque()  # qids waiting for admission
+        self._running: List[int] = []  # qids with a live QueryRun
+        self._query_ids = itertools.count(1)
+        self._session_ids = itertools.count(1)
+        self._sessions: Dict[int, Session] = {}
+
+        registry = getattr(cluster, "registry", None)
+        if registry is None:
+            from repro.obs import MetricsRegistry
+            registry = MetricsRegistry()
+        self._g_queue = registry.gauge(
+            "admission_queue_depth",
+            "Queries waiting for core slots or memory budget", sticky=True)
+        self._g_running = registry.gauge(
+            "queries_running", "Queries currently admitted and interleaving",
+            sticky=True)
+        self._h_wait = registry.histogram(
+            "query_wait_seconds",
+            "Simulated seconds queries spent in the admission queue")
+        self._g_queue.set(0)
+        self._g_running.set(0)
+
+    # ------------------------------------------------------------ plumbing
+
+    @property
+    def _clock(self):
+        return self.scheduler.clock or self.cluster.sim_clock
+
+    @property
+    def _tracer(self):
+        from repro.obs import NULL_TRACER
+        return getattr(self.cluster, "tracer", None) or NULL_TRACER
+
+    def _emit(self, kind: str, **attrs) -> None:
+        events = getattr(self.cluster, "events", None)
+        if events is not None:
+            events.emit("workload", kind, **attrs)
+
+    def _update_gauges(self) -> None:
+        self._g_queue.set(len(self._queue))
+        self._g_running.set(len(self._running))
+
+    def load(self) -> Dict[str, int]:
+        """Live load probe: what the dbAgent's automatic footprint sees."""
+        streams_per_query = max(1, len(self.cluster.workers))
+        return {
+            "queued": len(self._queue),
+            "running": len(self._running),
+            "running_streams": len(self._running) * streams_per_query,
+        }
+
+    def query_records(self) -> List[QueryRecord]:
+        return list(self._records.values())
+
+    def sessions(self) -> Dict[int, Session]:
+        return dict(self._sessions)
+
+    # ------------------------------------------------------------- sessions
+
+    def session(self) -> Session:
+        sid = next(self._session_ids)
+        session = Session(self, sid)
+        self._sessions[sid] = session
+        return session
+
+    # --------------------------------------------------------------- submit
+
+    def submit(self, plan, flags=None, trans=None,
+               timeout: Optional[float] = None,
+               exchange_mode: str = STREAMING,
+               thread_to_node: bool = True,
+               trace: bool = False,
+               memory_estimate: Optional[Dict[str, int]] = None,
+               session: int = 0,
+               statement: Optional[str] = None) -> int:
+        """Rewrite a logical plan and enqueue it; returns the query id.
+
+        Submission is cheap: the plan is rewritten and estimated, then
+        queued. Execution happens in :meth:`step` rounds, normally
+        driven from :meth:`gather`. ``timeout`` is a simulated-seconds
+        budget measured from submission; ``memory_estimate`` overrides
+        the plan-derived per-node admission estimate.
+        """
+        cluster = self.cluster
+        qid = next(self._query_ids)
+        wall0 = _time.perf_counter()
+        sim0 = self._clock.seconds
+        parent = self._tracer.current
+        if statement is None and parent is not None:
+            statement = str(parent.attrs.get("statement", ""))
+
+        root = Span("query", attrs={"query": qid})
+        root.wall_start, root.sim_start = wall0, sim0
+        rewrite = Span("rewrite")
+        rewrite.wall_start, rewrite.sim_start = wall0, sim0
+        phys = ParallelRewriter(cluster, flags).rewrite(plan)
+        rewrite.wall_end = _time.perf_counter()
+        rewrite.sim_end = self._clock.seconds
+
+        assignment = Span("assignment")
+        assignment.wall_start = assignment.wall_end = rewrite.wall_end
+        assignment.sim_start = assignment.sim_end = rewrite.sim_end
+        from repro.mpp.logical import LScan
+        scans = [n for n in plan.walk() if isinstance(n, LScan)]
+        tables = sorted({s.table for s in scans})
+        assignment.attrs["tables"] = ",".join(tables) or "-"
+        assignment.attrs["partitions"] = sum(
+            cluster.table(t).n_partitions for t in tables)
+        root.children = [rewrite, assignment]
+
+        record = QueryRecord(
+            query_id=qid, session_id=session, phys=phys,
+            statement=statement or "",
+            root_label=parent.name if parent is not None else "query",
+            exchange_mode=exchange_mode, thread_to_node=thread_to_node,
+            trace=trace, timeout=timeout, trans=trans,
+            memory_estimate=(memory_estimate if memory_estimate is not None
+                             else estimate_query_memory(cluster, phys,
+                                                        thread_to_node)),
+            submit_wall=wall0, submit_sim=sim0,
+            root_span=root, trace_parent=parent,
+        )
+        self._records[qid] = record
+        self._queue.append(qid)
+        self._emit("query.queued", query=qid, session=session)
+        self._admit()
+        self._update_gauges()
+        return qid
+
+    # ------------------------------------------------------------ admission
+
+    def _admit(self) -> None:
+        """Admit queue heads while they fit (FIFO, no bypass)."""
+        while self._queue:
+            record = self._records[self._queue[0]]
+            ok, reason = self.admission.decide(
+                record, len(self._running), self.meter)
+            if not ok and self._running:
+                record.queue_reason = reason
+                break
+            self._queue.popleft()
+            self._start(record, forced=not ok)
+        self._update_gauges()
+
+    def _start(self, record: QueryRecord, forced: bool = False) -> None:
+        cluster = self.cluster
+        record.state = RUNNING
+        record.queue_reason = ""
+        record.admit_wall = _time.perf_counter()
+        record.admit_sim = self._clock.seconds
+        record.wait_sim = record.admit_sim - record.submit_sim
+        self._h_wait.observe(record.wait_sim)
+        if record.trans is None:
+            record.trans = cluster.txn.begin()
+            record.own_txn = True
+        # snapshot isolation under interleaving: pin every scanned
+        # partition's Trans-PDT now, not at first pull many rounds later
+        cluster.txn.pin_snapshot(record.trans, self._scan_parts(record.phys))
+        record.run = cluster.executor.prepare(
+            record.phys, trans=record.trans,
+            exchange_mode=record.exchange_mode,
+            thread_to_node=record.thread_to_node,
+            scheduler=self.scheduler,
+            meter=MemoryMeter(parent=self.meter),
+        )
+        self._running.append(record.query_id)
+        self._emit("query.admitted", query=record.query_id,
+                   wait=round(record.wait_sim, 9), forced=forced)
+
+    def _scan_parts(self, phys: P.PhysNode):
+        seen = set()
+        for node in _walk_phys(phys):
+            if isinstance(node, P.PScan):
+                table = self.cluster.table(node.table)
+                if getattr(table, "is_virtual", False):
+                    continue
+                for pid in range(table.n_partitions):
+                    seen.add((node.table, pid))
+        return sorted(seen)
+
+    # ----------------------------------------------------------- scheduling
+
+    def step(self) -> bool:
+        """Run one global round: one turn per running query.
+
+        Returns True if any query could run (or was admitted); False
+        when the manager is idle.
+        """
+        self._check_timeouts()
+        self._admit()
+        if not self._running:
+            return False
+        turn_costs: List[float] = []
+        finished: List[QueryRecord] = []
+        for qid in list(self._running):
+            record = self._records[qid]
+            self.scheduler.begin_turn()
+            try:
+                more = record.run.step()
+            except Exception as exc:  # noqa: BLE001 - recorded, re-raised
+                turn_costs.append(self.scheduler.end_turn())
+                self._fail(record, exc)
+                continue
+            turn_costs.append(self.scheduler.end_turn())
+            if not more:
+                finished.append(record)
+        # queries on disjoint core slots overlap: the round costs the
+        # slowest turn, not the sum -- the concurrency win measured by
+        # the makespan acceptance criterion
+        self.scheduler.charge_concurrent(turn_costs)
+        for record in finished:
+            self._complete(record)
+        if finished:
+            self._admit()
+        self._update_gauges()
+        return True
+
+    def drain(self) -> None:
+        """Step until every submitted query reached a terminal state."""
+        while self.step():
+            pass
+
+    def _check_timeouts(self) -> None:
+        clock = self._clock.seconds
+        for record in list(self._records.values()):
+            if record.state in (QUEUED, RUNNING) and \
+                    record.timeout is not None and \
+                    clock - record.submit_sim > record.timeout:
+                self.cancel(record.query_id, reason="timeout")
+
+    # ----------------------------------------------------------- completion
+
+    def _finish_own_txn(self, record: QueryRecord, commit: bool) -> None:
+        trans = record.trans
+        if not record.own_txn or trans is None or trans.finished:
+            return
+        if commit:
+            trans.commit()  # read-only: an empty implicit commit
+        elif trans.is_update():
+            trans.abort()
+        else:
+            trans.finished = True
+
+    def _complete(self, record: QueryRecord) -> None:
+        result = record.run.finish()
+        try:
+            self._finish_own_txn(record, commit=True)
+        except Exception as exc:  # pragma: no cover - read-only commits
+            self._fail(record, exc)
+            return
+        record.finish_wall = _time.perf_counter()
+        record.finish_sim = self._clock.seconds
+        result.query_id = record.query_id
+        result.rounds = record.run.rounds
+        result.wait_sim_seconds = record.wait_sim
+        record.result = result
+        record.state = FINISHED
+        self._retire(record)
+        self._emit("query.finished", query=record.query_id,
+                   rounds=record.run.rounds,
+                   sim=round(result.simulated_parallel_seconds, 9))
+        self._seal_spans(record)
+        if record.trace:
+            result.trace = record.root_span
+
+    def _fail(self, record: QueryRecord, exc: BaseException) -> None:
+        record.run.cancel()
+        self._finish_own_txn(record, commit=False)
+        record.error = exc
+        record.state = FAILED
+        record.finish_wall = _time.perf_counter()
+        record.finish_sim = self._clock.seconds
+        self._retire(record)
+        self._emit("query.failed", query=record.query_id,
+                   error=type(exc).__name__)
+        self._seal_spans(record)
+
+    def cancel(self, query_id: int, reason: str = "cancelled") -> bool:
+        """Cancel a queued or suspended query; unwinds it cleanly.
+
+        Returns False if the query already reached a terminal state.
+        Running queries close their operator generators (releasing scan
+        holds), drop buffered DXchg channel bytes without flushing them
+        to the fabric, drain receive queues and give live memory back to
+        the shared meter; a ``query.cancelled`` cluster event is emitted.
+        """
+        record = self._records.get(query_id)
+        if record is None or record.state not in (QUEUED, RUNNING):
+            return False
+        if record.state == QUEUED:
+            self._queue.remove(query_id)
+        else:
+            record.run.cancel()
+        self._finish_own_txn(record, commit=False)
+        record.state = CANCELLED
+        record.cancel_reason = reason
+        record.finish_wall = _time.perf_counter()
+        record.finish_sim = self._clock.seconds
+        self._retire(record)
+        self._emit("query.cancelled", query=query_id, reason=reason)
+        self._seal_spans(record)
+        self._admit()  # the freed slot may unblock the queue
+        self._update_gauges()
+        return True
+
+    def _retire(self, record: QueryRecord) -> None:
+        if record.query_id in self._running:
+            self._running.remove(record.query_id)
+        self._update_gauges()
+
+    # --------------------------------------------------------------- gather
+
+    def gather(self, query_id: int) -> QueryResult:
+        """Drive rounds until the query is terminal; return its result.
+
+        Other admitted queries make progress on the same rounds -- this
+        is where interleaving actually happens when a client gathers
+        while more submissions are outstanding.
+        """
+        record = self._records.get(query_id)
+        if record is None:
+            raise ExecutionError(f"unknown query id {query_id}")
+        while record.state in (QUEUED, RUNNING):
+            if not self.step() and record.state in (QUEUED, RUNNING):
+                raise ExecutionError(
+                    f"query {query_id} cannot make progress")
+        if record.state == FINISHED:
+            return record.result
+        if record.state == FAILED:
+            raise record.error
+        if record.cancel_reason == "timeout":
+            raise QueryTimeout(query_id)
+        raise QueryCancelled(query_id, record.cancel_reason or "cancelled")
+
+    # ---------------------------------------------------------------- spans
+
+    def _seal_spans(self, record: QueryRecord) -> None:
+        """Assemble the manual lifecycle span tree and publish it.
+
+        Concurrent queries cannot nest on the tracer's stack, so the
+        manager mirrors the structure the old query-at-a-time path
+        recorded: query -> rewrite, assignment, execute (build /
+        schedule / exchange.flush + grafted operator profiles), commit.
+        """
+        root = record.root_span
+        if root is None:
+            return
+        run = record.run
+        now = _time.perf_counter()
+        sim_now = self._clock.seconds
+        if run is not None:
+            exec_span = Span("execute", attrs={"mode": record.exchange_mode})
+            exec_span.wall_start = record.admit_wall
+            exec_span.wall_end = now
+            exec_span.sim_start = record.admit_sim
+            exec_span.sim_end = sim_now
+            cursor = exec_span.wall_start
+            phases = (
+                ("build", run.build_wall, {}),
+                ("schedule", run.step_wall, {"rounds": run.rounds}),
+                ("exchange.flush", run.flush_wall,
+                 {"exchanges": len(run.ctx.exchange_order)}),
+            )
+            for name, wall, attrs in phases:
+                child = Span(name, attrs=dict(attrs))
+                child.wall_start = cursor
+                child.wall_end = cursor + wall
+                cursor = child.wall_end
+                child.sim_start = exec_span.sim_start
+                child.sim_end = (exec_span.sim_end if name == "schedule"
+                                 else exec_span.sim_start)
+                exec_span.children.append(child)
+            profiles = (record.result.profiles if record.result is not None
+                        else [])
+            for prof in profiles:
+                span_from_profile(prof, exec_span)
+            root.children.append(exec_span)
+        if record.state == FINISHED:
+            commit_span = Span("commit",
+                               attrs={"implicit": record.own_txn})
+            commit_span.wall_start = commit_span.wall_end = now
+            commit_span.sim_start = commit_span.sim_end = sim_now
+            root.children.append(commit_span)
+        root.attrs["state"] = record.state
+        if record.statement:
+            root.attrs.setdefault("statement", record.statement)
+        root.wall_end = now
+        root.sim_end = sim_now
+        if record.trace_parent is not None:
+            record.trace_parent.children.append(root)
+        else:
+            self._tracer.publish(root)

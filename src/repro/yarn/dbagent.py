@@ -54,6 +54,10 @@ class DbAgent:
         self.slices: List[_Slice] = []
         #: called with {node: cores} whenever the footprint changes
         self.on_footprint_change: Optional[FootprintCallback] = None
+        #: live load probe wired by the cluster to
+        #: :meth:`repro.workload.WorkloadManager.load`: a callable
+        #: returning {"queued": .., "running": .., "running_streams": ..}
+        self.workload_probe: Optional[Callable[[], Dict[str, int]]] = None
 
     # -- worker-set selection ---------------------------------------------------
 
@@ -147,7 +151,7 @@ class DbAgent:
 
     # -- automatic footprint (paper section 4) --------------------------------
 
-    def auto_footprint(self, active_queries: int,
+    def auto_footprint(self, active_queries: Optional[int] = None,
                        queries_per_slice: int = 2,
                        min_slices: int = 1,
                        max_slices: int = 8) -> int:
@@ -157,10 +161,30 @@ class DbAgent:
         self-regulate its desired core/memory footprint depending on the
         query workload." One slice serves ``queries_per_slice`` concurrent
         queries; the footprint follows the load within [min, max].
+
+        With no explicit ``active_queries`` the agent consults the
+        workload manager's live probe: queued + running queries drive
+        the slice count, and the running *stream* count (one stream per
+        worker per admitted query) sets a floor of enough slice cores
+        per node to give every live stream a core.
         """
-        desired = max(min_slices,
+        need_for_streams = 0
+        if active_queries is None:
+            if self.workload_probe is None:
+                active_queries = 0
+            else:
+                probe = self.workload_probe()
+                active_queries = (int(probe.get("queued", 0))
+                                  + int(probe.get("running", 0)))
+                streams = int(probe.get("running_streams", 0))
+                nodes = max(1, len(self.worker_set))
+                streams_per_node = -(-streams // nodes)
+                need_for_streams = -(-streams_per_node
+                                     // max(1, self.slice_cores))
+        desired = max(min_slices, need_for_streams,
                       min(max_slices,
-                          -(-active_queries // queries_per_slice)))
+                          -(-int(active_queries) // queries_per_slice)))
+        desired = min(max_slices, desired)
         return self.negotiate_to_target(desired)
 
     # -- preemption ---------------------------------------------------------------
