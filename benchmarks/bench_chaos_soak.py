@@ -1,0 +1,181 @@
+"""Chaos soak: seeded random fault schedules against a live TPC-H mix.
+
+Each soak round builds a fresh 4-node cluster, loads the TPC-H mini
+dataset, submits a concurrent query mix (Q1/Q3/Q6/Q14) and lets a
+:class:`~repro.chaos.ChaosController` fire a seeded random fault plan
+into it: per-link message drops/delays/duplication/stragglers, slow
+disks and replica read errors, a preemption storm, and one node crash
+forcing failover with queries in flight. After the run every plan entry
+must have fired, every query must have produced the fault-free answer,
+and the invariant checker (replication degree, WAL-replay durability,
+no lingering in-doubt txns, admission accounting) must report zero
+violations across the whole soak.
+
+Reported per seed: faults fired, node crashes, queries retried, and the
+failover recovery time (simulated seconds from ``node_failed`` to
+``failover_complete``). Writes ``chaos_soak.txt``, a machine-readable
+``chaos_report.json`` and the full cluster event log of the last round
+as ``events.txt`` under ``benchmarks/results/`` (CI uploads all three).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from benchmarks.conftest import RESULTS_DIR, write_report
+from repro.chaos import ChaosController
+from repro.cluster import VectorHCluster
+from repro.common.config import Config
+from repro.tpch import tpch_schemas
+from repro.tpch.queries import q1, q3, q6, q14
+from repro.tpch.schema import LOAD_ORDER
+
+SEEDS = (11, 23, 37, 41, 59, 67)
+QUERIES = (("q1", q1), ("q3", q3), ("q6", q6), ("q14", q14))
+
+
+def _fresh_cluster(tpch_data) -> VectorHCluster:
+    config = Config().scaled_for_tests()
+    config.workload_deterministic = True
+    cluster = VectorHCluster(n_nodes=4, config=config)
+    schemas = tpch_schemas(n_partitions=4)
+    for name in LOAD_ORDER:
+        cluster.create_table(schemas[name])
+        cluster.bulk_load(name, tpch_data[name])
+    return cluster
+
+
+def _capture_plans(cluster):
+    plans = []
+    for name, q in QUERIES:
+        def run(plan):
+            plans.append((name, plan))  # noqa: B023 - consumed immediately
+            return cluster.query(plan).batch
+        q(run)
+    return plans
+
+
+def _reference_results(cluster, plans):
+    """Fault-free answers every chaotic run must still produce."""
+    return [_fingerprint(cluster.query(plan)) for _name, plan in plans]
+
+
+def _fingerprint(result):
+    batch = result.batch
+    return {name: values.tolist()
+            for name, values in batch.columns.items()}
+
+
+def _results_match(got, want) -> bool:
+    """Value equality, with float tolerance: a query retried on the
+    survivor set after failover aggregates partitions in a different
+    order, which legitimately moves float sums by an ulp or two."""
+    if set(got) != set(want):
+        return False
+    for name in want:
+        if len(got[name]) != len(want[name]):
+            return False
+        for a, b in zip(got[name], want[name]):
+            if isinstance(a, float) and isinstance(b, float):
+                if not math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9):
+                    return False
+            elif a != b:
+                return False
+    return True
+
+
+def _recovery_times(cluster):
+    """Sim-seconds from each node_failed to its failover_complete."""
+    started = {}
+    durations = []
+    for event in cluster.events:
+        if event.source != "cluster":
+            continue
+        if event.kind == "node_failed":
+            started[event.attrs["node"]] = event.sim_time
+        elif event.kind == "failover_complete":
+            t0 = started.pop(event.attrs["node"], None)
+            if t0 is not None:
+                durations.append(event.sim_time - t0)
+    return durations
+
+
+def _soak_round(tpch_data, seed, reference):
+    cluster = _fresh_cluster(tpch_data)
+    plans = _capture_plans(cluster)
+    if reference is None:
+        reference = _reference_results(cluster, plans)
+        cluster = _fresh_cluster(tpch_data)
+        plans = _capture_plans(cluster)
+    # the fault window must overlap the mix's ~ms-scale makespan or every
+    # crash lands after the last query and failover is never mid-flight
+    chaos = ChaosController(cluster, seed=seed, n_faults=10,
+                            crash_nodes=1, duration=0.004).install()
+    qids = [cluster.submit(plan) for _name, plan in plans]
+    results = [cluster.gather(qid) for qid in qids]
+    chaos.drain()
+    chaos.final_check()
+    for got, want in zip(results, reference):
+        assert _results_match(_fingerprint(got), want), \
+            "chaotic run changed query results"
+    report = chaos.report()
+    assert report["violations"] == 0
+    assert len(chaos.fired) == len(chaos.plan)
+    records = {r.query_id: r for r in cluster.workload.query_records()}
+    stats = {
+        "seed": seed,
+        "faults_fired": len(chaos.fired),
+        "crashed_nodes": report["crashed_nodes"],
+        "queries_retried": sum(
+            1 for qid in qids if records[qid].retries > 0),
+        "retries_total": int(cluster.registry.counter(
+            "queries_retried_total", "").total()),
+        "recovery_times_s": _recovery_times(cluster),
+        "makespan_s": cluster.sim_clock.seconds,
+        "report": report,
+    }
+    return stats, reference, cluster
+
+
+def test_chaos_soak(tpch_data):
+    reference = None
+    rounds = []
+    last_cluster = None
+    for seed in SEEDS:
+        stats, reference, last_cluster = _soak_round(
+            tpch_data, seed, reference)
+        rounds.append(stats)
+
+    total_faults = sum(r["faults_fired"] for r in rounds)
+    total_crashes = sum(len(r["crashed_nodes"]) for r in rounds)
+    recoveries = [t for r in rounds for t in r["recovery_times_s"]]
+    assert total_faults == len(SEEDS) * 11  # 10 transient + 1 node crash
+    lines = [
+        "CHAOS SOAK: seeded fault schedules vs concurrent TPC-H mix "
+        f"({len(SEEDS)} seeds, {'/'.join(n for n, _ in QUERIES)})",
+        f"{'seed':>6} {'faults':>7} {'crashes':>8} {'retried':>8} "
+        f"{'recovery':>10} {'makespan':>10}",
+    ]
+    for r in rounds:
+        rec = (f"{max(r['recovery_times_s']):.6f}s"
+               if r["recovery_times_s"] else "-")
+        lines.append(
+            f"{r['seed']:>6} {r['faults_fired']:>7} "
+            f"{len(r['crashed_nodes']):>8} {r['queries_retried']:>8} "
+            f"{rec:>10} {r['makespan_s']:>9.4f}s")
+    lines.append(
+        f"total: {total_faults} faults, {total_crashes} node crashes, "
+        f"{sum(r['retries_total'] for r in rounds)} query retries, "
+        "0 invariant violations")
+    if recoveries:
+        lines.append(
+            f"failover recovery: min {min(recoveries):.6f}s "
+            f"max {max(recoveries):.6f}s "
+            f"mean {sum(recoveries) / len(recoveries):.6f}s (simulated)")
+    write_report("chaos_soak.txt", "\n".join(lines))
+    (RESULTS_DIR / "chaos_report.json").write_text(json.dumps(
+        {str(r["seed"]): r for r in rounds}, indent=2))
+    (RESULTS_DIR / "events.txt").write_text("\n".join(
+        f"{e.seq:>5} {e.sim_time:.6f} {e.source:>8} {e.kind:<22} {e.detail}"
+        for e in last_cluster.events) + "\n")

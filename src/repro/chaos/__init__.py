@@ -1,0 +1,40 @@
+"""repro.chaos: deterministic fault injection and recovery validation.
+
+Usage::
+
+    from repro.chaos import ChaosController
+
+    chaos = ChaosController(cluster, seed=7,
+                            n_faults=12, crash_nodes=1).install()
+    ... run a workload through cluster.workload ...
+    chaos.drain()
+    assert chaos.final_check().ok
+    print(chaos.report())
+
+The same ``seed`` against the same workload reproduces the identical
+fault schedule, event log and invariant report.
+"""
+
+from repro.chaos.controller import ChaosController, FiredFault
+from repro.chaos.faults import (
+    ArmedFault,
+    FaultPlan,
+    FaultSpec,
+    HdfsFaultInjector,
+    NetFaultInjector,
+    TRANSIENT_KINDS,
+)
+from repro.chaos.invariants import InvariantChecker, InvariantReport
+
+__all__ = [
+    "ArmedFault",
+    "ChaosController",
+    "FaultPlan",
+    "FaultSpec",
+    "FiredFault",
+    "HdfsFaultInjector",
+    "InvariantChecker",
+    "InvariantReport",
+    "NetFaultInjector",
+    "TRANSIENT_KINDS",
+]

@@ -1,0 +1,195 @@
+"""Fault model: what can go wrong, when, and the injectors that do it.
+
+A :class:`FaultPlan` is a deterministic schedule of :class:`FaultSpec`
+injection points generated from a seed *before* the run starts -- the
+chaos RNG is never consulted per-message, so two runs with the same seed
+and workload produce bit-identical fault timelines. The controller fires
+each spec when the shared simulated clock reaches its time; network and
+HDFS faults are *armed* on the injector objects hooked into
+:class:`~repro.net.mpi.MpiFabric` and
+:class:`~repro.hdfs.cluster.HdfsCluster`, then consumed by the next
+matching operations (count-limited, in arming order).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.common.errors import HdfsError, NetworkTimeout
+from repro.net.mpi import LINK_BANDWIDTH
+
+#: fault kinds a generated plan draws from (node.crash and txn.crash are
+#: budgeted separately -- they reshape the cluster, not just slow it)
+TRANSIENT_KINDS = (
+    "net.delay",      # one message charged `param` extra seconds
+    "net.drop",       # next `count` messages on the link time out
+    "net.dup",        # next `count` messages delivered twice
+    "net.straggler",  # link transfers run `param`x slower for `count` msgs
+    "hdfs.slow_disk",  # next `count` reads served by node stall `param` s
+    "hdfs.read_error",  # next `count` replica reads on node fail over
+    "yarn.preempt_storm",  # higher-priority app preempts footprint slices
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled injection point."""
+
+    at: float            # simulated seconds when the controller fires it
+    kind: str            # one of TRANSIENT_KINDS, node.crash or txn.crash
+    target: str = ""     # node name, "src->dst" link, or 2PC crash point
+    param: float = 0.0   # delay seconds / straggler factor, kind-specific
+    count: int = 1       # how many operations the armed fault consumes
+
+    def key(self) -> tuple:
+        return (self.at, self.kind, self.target, self.param, self.count)
+
+
+class FaultPlan:
+    """An ordered fault schedule, fully determined by its seed."""
+
+    def __init__(self, specs: Sequence[FaultSpec]):
+        self.specs: List[FaultSpec] = sorted(
+            specs, key=lambda s: (s.at, s.kind, s.target))
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def schedule(self) -> List[tuple]:
+        """The deterministic fingerprint compared by determinism tests."""
+        return [s.key() for s in self.specs]
+
+    @classmethod
+    def generate(cls, seed: int, workers: Sequence[str], *,
+                 duration: float = 0.05, n_faults: int = 8,
+                 crash_nodes: int = 0, txn_crash_point: Optional[str] = None,
+                 kinds: Sequence[str] = TRANSIENT_KINDS) -> "FaultPlan":
+        """Draw a schedule from a private RNG seeded with ``seed``.
+
+        ``crash_nodes`` node crashes are spread over the run (never the
+        whole worker set; callers keep it under the replication degree so
+        failover, not data loss, is what gets exercised).
+        ``txn_crash_point`` arms one coordinator crash at that 2PC point
+        ("prepare.done", "decision.logged" or "commit.partial").
+        """
+        rng = random.Random(seed)
+        nodes = sorted(workers)
+        specs: List[FaultSpec] = []
+        for _ in range(n_faults):
+            at = round(rng.uniform(0.0, duration), 9)
+            kind = rng.choice(list(kinds))
+            if kind.startswith("net."):
+                src, dst = rng.sample(nodes, 2)
+                target = f"{src}->{dst}"
+                param = (round(rng.uniform(1.5, 4.0), 3)
+                         if kind == "net.straggler"
+                         else round(rng.uniform(0.0002, 0.002), 9))
+                count = rng.randint(1, 3)
+            elif kind.startswith("hdfs."):
+                target = rng.choice(nodes)
+                param = round(rng.uniform(0.0005, 0.005), 9)
+                count = rng.randint(1, 3)
+            else:  # yarn.preempt_storm
+                target = rng.choice(nodes)
+                param = round(rng.uniform(0.005, 0.02), 9)  # dwell time
+                count = 1
+            specs.append(FaultSpec(at, kind, target, param, count))
+        for i in range(min(crash_nodes, max(0, len(nodes) - 1))):
+            at = round(rng.uniform(duration * 0.25, duration), 9)
+            specs.append(FaultSpec(at, "node.crash", rng.choice(nodes)))
+        if txn_crash_point is not None:
+            at = round(rng.uniform(0.0, duration), 9)
+            specs.append(FaultSpec(at, "txn.crash", txn_crash_point))
+        return cls(specs)
+
+
+@dataclass
+class ArmedFault:
+    """A fired spec waiting to be consumed by matching operations."""
+
+    spec: FaultSpec
+    remaining: int = field(default=0)
+
+    def __post_init__(self):
+        if not self.remaining:
+            self.remaining = max(1, self.spec.count)
+
+
+class NetFaultInjector:
+    """``MpiFabric.faults`` hook: per-link delay/drop/dup/straggler."""
+
+    def __init__(self):
+        self.armed: List[ArmedFault] = []
+
+    def arm(self, spec: FaultSpec) -> None:
+        self.armed.append(ArmedFault(spec))
+
+    def _match(self, src: str, dst: str) -> Optional[ArmedFault]:
+        link = f"{src}->{dst}"
+        for fault in self.armed:
+            if fault.remaining > 0 and fault.spec.target == link:
+                return fault
+        return None
+
+    def on_send(self, fabric, src: str, dst: str, n_bytes: int) -> int:
+        """Consume at most one armed fault per wire attempt.
+
+        Returns the number of duplicate copies to account; raises
+        :class:`NetworkTimeout` for a dropped message (the fabric's
+        retry policy resends it).
+        """
+        fault = self._match(src, dst)
+        if fault is None:
+            return 0
+        fault.remaining -= 1
+        kind = fault.spec.kind
+        if kind == "net.drop":
+            fabric.note_drop(src, dst)
+            raise NetworkTimeout(f"message {src}->{dst} dropped (chaos)")
+        if kind == "net.delay":
+            fabric.note_fault_delay(fault.spec.param)
+        elif kind == "net.straggler":
+            slow = n_bytes / LINK_BANDWIDTH * (fault.spec.param - 1.0)
+            fabric.note_fault_delay(slow)
+        elif kind == "net.dup":
+            fabric.note_duplicate()
+            return 1
+        return 0
+
+
+class HdfsFaultInjector:
+    """``HdfsCluster.fault_injector`` hook: slow disks and read errors."""
+
+    def __init__(self):
+        self.armed: List[ArmedFault] = []
+
+    def arm(self, spec: FaultSpec) -> None:
+        self.armed.append(ArmedFault(spec))
+
+    def _match(self, node: str) -> Optional[ArmedFault]:
+        for fault in self.armed:
+            if fault.remaining > 0 and fault.spec.target == node:
+                return fault
+        return None
+
+    def on_read(self, cluster, path: str, node: str, n_bytes: int) -> None:
+        """Consume at most one armed fault per replica read attempt.
+
+        Raising :class:`HdfsError` fails this replica's read; the client
+        falls back to the next alive holder (and backs off + retries if
+        every holder errors at once).
+        """
+        fault = self._match(node)
+        if fault is None:
+            return
+        fault.remaining -= 1
+        kind = fault.spec.kind
+        if kind == "hdfs.read_error":
+            raise HdfsError(f"injected read error on {node} ({path})")
+        if kind == "hdfs.slow_disk":
+            cluster.note_fault_delay(fault.spec.param)

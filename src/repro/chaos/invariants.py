@@ -1,0 +1,112 @@
+"""Cluster invariants checked after every injected fault.
+
+The checker is the chaos subsystem's oracle: a fault plan is only a
+passing run if, after every injection and recovery action, the cluster
+still satisfies the properties failover is supposed to preserve:
+
+* **replication** -- every HDFS file holds its full replication degree
+  on alive nodes (bounded by the alive-node count);
+* **durability, exactly once** -- replaying each partition WAL from
+  scratch reproduces exactly the in-memory PDT entry count: committed
+  transaction effects survive (no loss) and appear once (no double
+  apply after recovery);
+* **no lingering in-doubt transactions** -- every prepare record is
+  followed by a commit or abort resolution;
+* **admission accounting** -- when no query is running, the shared
+  memory meter reads zero on every node (cancel/retry paths released
+  everything they charged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.pdt.stack import PdtStack
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of one checker pass."""
+
+    context: str
+    checks: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def key(self) -> tuple:
+        """Deterministic fingerprint for run-to-run comparison."""
+        return (self.context, self.checks, tuple(self.violations))
+
+
+class InvariantChecker:
+    """Checks a :class:`~repro.cluster.vectorh.VectorHCluster`'s health."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+
+    def check(self, context: str = "") -> InvariantReport:
+        report = InvariantReport(context=context)
+        self._check_replication(report)
+        self._check_wal_durability(report)
+        self._check_admission(report)
+        return report
+
+    # -- individual invariants ----------------------------------------------
+
+    def _check_replication(self, report: InvariantReport) -> None:
+        hdfs = self.cluster.hdfs
+        n_alive = len(hdfs.alive_nodes())
+        for path in sorted(hdfs.files):
+            f = hdfs.files[path]
+            live = [n for n in f.replicas if hdfs.nodes[n].alive]
+            want = min(f.replication, n_alive)
+            report.checks += 1
+            if len(live) < want:
+                report.violations.append(
+                    f"under-replicated: {path} has {len(live)}/{want} "
+                    f"alive replicas")
+
+    def _check_wal_durability(self, report: InvariantReport) -> None:
+        cluster = self.cluster
+        reader = cluster.session_master
+        for tname in sorted(cluster.tables):
+            stored = cluster.tables[tname]
+            for pid in range(stored.n_partitions):
+                records = cluster.wal.replay_partition(tname, pid,
+                                                       reader=reader)
+                replayed = PdtStack(cluster.config.write_pdt_flush_threshold)
+                prepared = {}
+                for rec in records:
+                    if rec.kind == "commit":
+                        replayed.apply_replicated(rec.payload[1])
+                        prepared.pop(rec.payload[0], None)
+                    elif rec.kind == "prepare":
+                        prepared[rec.payload[0]] = True
+                    elif rec.kind == "abort":
+                        prepared.pop(rec.payload[0], None)
+                report.checks += 1
+                mem = stored.pdt[pid].total_entries()
+                wal = replayed.total_entries()
+                if wal != mem:
+                    report.violations.append(
+                        f"pdt/wal divergence on {tname}/{pid}: "
+                        f"wal replay has {wal} entries, memory has {mem}")
+                report.checks += 1
+                if prepared:
+                    report.violations.append(
+                        f"unresolved in-doubt txns on {tname}/{pid}: "
+                        f"{sorted(prepared)}")
+
+    def _check_admission(self, report: InvariantReport) -> None:
+        wm = self.cluster.workload
+        report.checks += 1
+        if wm._running:
+            return  # live queries legitimately hold memory
+        held = {n: v for n, v in sorted(wm.meter.current.items()) if v}
+        if held:
+            report.violations.append(
+                f"admission meter not released while idle: {held}")

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.common.config import Config, DEFAULT_CONFIG
-from repro.common.errors import ReproError, StorageError
+from repro.common.errors import DataLossError, ReproError, StorageError
 from repro.engine.expressions import Expr
 from repro.flow.assignment import affinity_map, responsibility_assignment
 from repro.hdfs.cluster import HdfsCluster
@@ -73,7 +73,8 @@ class VectorHCluster:
 
         self.placement = VectorHPlacementPolicy()
         self.hdfs = HdfsCluster(names, self.config, self.placement,
-                                registry=self.registry, events=self.events)
+                                registry=self.registry, events=self.events,
+                                sim_clock=self.sim_clock)
         self.rm = ResourceManager(yarn_queues or {"default": 5, "prod": 8},
                                   registry=self.registry, events=self.events)
         for name in names:
@@ -91,7 +92,8 @@ class VectorHCluster:
         self.session_master: str = self.workers[0]
 
         self.mpi = MpiFabric(self.config.mpi_message_size,
-                             registry=self.registry)
+                             registry=self.registry,
+                             sim_clock=self.sim_clock)
         self._pools: Dict[str, BufferPool] = {
             name: BufferPool(self.hdfs, registry=self.registry, node=name)
             for name in names
@@ -106,6 +108,9 @@ class VectorHCluster:
         self.workload = WorkloadManager(self)
         # the automatic footprint follows real load, not a guessed count
         self.dbagent.workload_probe = self.workload.load
+        self.dbagent.events = self.events
+        #: installed ChaosController when fault injection is active
+        self.chaos = None
 
     # ---------------------------------------------------------------- plumbing
 
@@ -482,18 +487,29 @@ class VectorHCluster:
     def fail_node(self, name: str) -> Dict[str, object]:
         """Handle a node failure the VectorH way (sections 3-4).
 
-        1. dbAgent shrinks the worker set to the survivors;
-        2. the affinity map is recomputed by min-cost flow over current
+        1. running queries touching the node are unwound and requeued by
+           the workload manager (their prepared runs cache the old
+           worker set and session master);
+        2. dbAgent shrinks the worker set to the survivors;
+        3. the affinity map is recomputed by min-cost flow over current
            replica locations and pushed into the placement policy;
-        3. the namenode re-replicates under-replicated chunk files, now
+        4. the namenode re-replicates under-replicated chunk files, now
            steered by the updated policy;
-        4. responsibilities are reassigned (min-cost flow again) and the
+        5. responsibilities are reassigned (min-cost flow again) and the
            new responsible nodes replay their partition WALs to rebuild
-           the PDTs they must now hold in RAM.
+           the PDTs they must now hold in RAM;
+        6. the (possibly new) session master resolves in-doubt 2PC
+           transactions from the WALs, then queued queries re-dispatch.
+
+        Raises :class:`DataLossError` -- before touching any state -- if
+        killing ``name`` would leave some partition with zero alive
+        replica holders; that is unrecoverable, not a failover.
         """
         if name not in self.workers:
             raise ReproError(f"{name} is not in the worker set")
+        self._check_data_loss(name)
         self.events.emit("cluster", "node_failed", node=name)
+        self.workload.on_node_failed(name)
         self.hdfs.mark_node_dead(name)
         self.rm.unregister_node(name)
         survivors = [w for w in self.workers if w != name]
@@ -544,17 +560,46 @@ class VectorHCluster:
                         wal_replayed_bytes += self._replay_pdt(tname, pid, new)
         repaired = self.hdfs.rereplicate()
         self.hdfs.rebalance()
+        # presumed-abort recovery: the new session master settles any
+        # transaction the dead node left between 2PC prepare and commit
+        resolved = self.txn.resolve_in_doubt()
         self.events.emit(
             "cluster", "failover_complete", node=name,
             workers=len(self.workers), moved_partitions=moved_partitions,
             rereplicated_files=repaired,
+            resolved_commits=len(resolved["committed"]),
+            resolved_aborts=len(resolved["aborted"]),
         )
+        self.workload.redispatch()
         return {
             "workers": list(self.workers),
             "moved_partitions": moved_partitions,
             "rereplicated_files": repaired,
             "wal_replayed_bytes": wal_replayed_bytes,
+            "resolved": resolved,
         }
+
+    def _check_data_loss(self, dying: str) -> None:
+        """Refuse a node kill that would destroy the last copy of data."""
+        for tname, stored in self.tables.items():
+            for pid in range(stored.n_partitions):
+                paths = list(stored.partitions[pid].file_paths())
+                wal_path = self.wal.partition_wal_path(tname, pid)
+                if self.hdfs.exists(wal_path):
+                    paths.append(wal_path)
+                for path in paths:
+                    holders = [
+                        h for h in self.hdfs.replica_locations(path)
+                        if h != dying and self.hdfs.nodes[h].alive
+                    ]
+                    if not holders:
+                        self.events.emit("cluster", "data_lost",
+                                         table=tname, partition=pid,
+                                         node=dying, path=path)
+                        raise DataLossError(
+                            f"data loss: {dying} holds the last replica of "
+                            f"table {tname} partition {pid} ({path})"
+                        )
 
     def _replay_pdt(self, table: str, pid: int, node: str) -> int:
         """New responsible node rebuilds the partition's PDTs from its WAL."""

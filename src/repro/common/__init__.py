@@ -14,13 +14,19 @@ from repro.common.types import (
 )
 from repro.common.errors import (
     ConstraintViolation,
+    DataLossError,
     HdfsError,
+    NetworkError,
+    NetworkTimeout,
     ReproError,
+    RetryBudgetExceeded,
+    SimulatedCrash,
     StorageError,
     TransactionAborted,
     YarnError,
 )
 from repro.common.config import Config, DEFAULT_CONFIG
+from repro.common.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 
 __all__ = [
     "BOOL",
@@ -35,9 +41,16 @@ __all__ = [
     "days_to_date",
     "Config",
     "DEFAULT_CONFIG",
+    "DEFAULT_RETRY_POLICY",
     "ReproError",
     "HdfsError",
     "YarnError",
+    "NetworkError",
+    "NetworkTimeout",
+    "RetryBudgetExceeded",
+    "RetryPolicy",
+    "DataLossError",
+    "SimulatedCrash",
     "StorageError",
     "TransactionAborted",
     "ConstraintViolation",

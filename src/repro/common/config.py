@@ -40,6 +40,14 @@ class Config:
     #: instead of measured wall time (two identical runs then produce
     #: identical clocks -- required for reproducible concurrency runs)
     workload_deterministic: bool = False
+    #: how many times the workload manager transparently re-dispatches a
+    #: query whose worker died mid-flight before failing it
+    query_retry_budget: int = 2
+
+    # --- chaos (fault injection) --------------------------------------------
+    #: seed for the chaos controller's private RNG; the same seed yields a
+    #: bit-identical fault schedule, event log and invariant report
+    chaos_seed: int = 0
 
     # --- PDT / transactions (paper section 6) --------------------------------
     write_pdt_flush_threshold: int = 4096  # updates before Write->Read move

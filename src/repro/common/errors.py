@@ -17,6 +17,47 @@ class YarnError(ReproError):
     """Raised by the simulated YARN layer (no resources, bad container, ...)."""
 
 
+class NetworkError(ReproError):
+    """Raised by the MPI fabric layer."""
+
+
+class NetworkTimeout(NetworkError):
+    """A wire message timed out (chaos drop fault). Transient: the send
+    path retries it under its :class:`~repro.common.retry.RetryPolicy`."""
+
+
+class RetryBudgetExceeded(ReproError):
+    """A retry policy spent its whole attempt budget on transient errors.
+
+    Chains the last transient error as ``__cause__``.
+    """
+
+
+class DataLossError(ReproError):
+    """Every replica of some table partition's data is on dead nodes.
+
+    The message always starts with ``"data loss: "`` and names the
+    affected table/partition; a ``cluster.data_lost`` event is emitted
+    alongside.
+    """
+
+
+class SimulatedCrash(ReproError):
+    """A chaos-injected node crash at a transaction injection point.
+
+    Raised out of :meth:`TransactionManager.commit` when a fault plan
+    arms a crash between 2PC phases; ``node`` names the victim. The
+    driver is expected to hand the exception to
+    :meth:`repro.chaos.ChaosController.handle_crash`, which fails the
+    node over and resolves the in-doubt transaction it left behind.
+    """
+
+    def __init__(self, node: str, point: str):
+        super().__init__(f"simulated crash of {node} at {point}")
+        self.node = node
+        self.point = point
+
+
 class StorageError(ReproError):
     """Raised by the columnar storage layer (corrupt block, bad schema, ...)."""
 

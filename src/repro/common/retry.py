@@ -1,0 +1,77 @@
+"""Bounded-retry policy with exponential backoff on the simulated clock.
+
+One :class:`RetryPolicy` object describes how a subsystem survives
+*transient* faults: how many attempts it may spend, how long it backs off
+between them, and where the backoff caps. The policy charges its delays
+to the shared :class:`~repro.obs.SimClock` (wall time is never slept), so
+a chaos run with injected message drops or replica read errors produces
+the same simulated timeline on every run with the same seed.
+
+The same policy class serves the MPI send path (dropped messages) and the
+HDFS read path (replica read errors); both subsystems keep their own
+instance so their budgets are independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type
+
+from repro.common.errors import RetryBudgetExceeded
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff: ``base * multiplier**(attempt-1)``.
+
+    ``max_attempts`` counts the total tries (first attempt included), so
+    ``max_attempts=1`` means "no retries". Delays are simulated seconds,
+    capped at ``max_delay``.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.0005
+    multiplier: float = 2.0
+    max_delay: float = 0.05
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff charged before retry number ``attempt`` (1-based)."""
+        return min(self.max_delay,
+                   self.base_delay * self.multiplier ** (attempt - 1))
+
+    def total_backoff(self, attempts: int) -> float:
+        """Simulated seconds a caller spends if it retries ``attempts`` times."""
+        return sum(self.delay_for(i + 1) for i in range(attempts))
+
+    def run(self, fn: Callable[[], object], *,
+            clock=None,
+            retryable: Tuple[Type[BaseException], ...] = (Exception,),
+            on_retry: Optional[Callable[[int, float, BaseException],
+                                        None]] = None):
+        """Call ``fn`` until it succeeds or the attempt budget is spent.
+
+        Only ``retryable`` exceptions are retried; anything else
+        propagates immediately. Each backoff is charged to ``clock``
+        (when given) and reported through ``on_retry(attempt, delay,
+        error)``. When the budget runs out the last transient error is
+        wrapped in :class:`RetryBudgetExceeded`.
+        """
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except retryable as exc:
+                attempt += 1
+                if attempt >= self.max_attempts:
+                    raise RetryBudgetExceeded(
+                        f"gave up after {attempt} attempts: {exc}"
+                    ) from exc
+                delay = self.delay_for(attempt)
+                if clock is not None:
+                    clock.advance(delay)
+                if on_retry is not None:
+                    on_retry(attempt, delay, exc)
+
+
+#: conservative default shared by fabric and HDFS unless overridden
+DEFAULT_RETRY_POLICY = RetryPolicy()

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 
 from repro.common.config import Config, DEFAULT_CONFIG
 from repro.common.errors import HdfsError
+from repro.common.retry import RetryPolicy
 from repro.hdfs.placement import BlockPlacementPolicy, DefaultPlacementPolicy
 from repro.obs import MetricsRegistry
 
@@ -105,6 +106,7 @@ class HdfsCluster:
         placement_policy: Optional[BlockPlacementPolicy] = None,
         registry: Optional[MetricsRegistry] = None,
         events=None,
+        sim_clock=None,
     ):
         self.config = config
         self.registry = registry or MetricsRegistry()
@@ -116,10 +118,40 @@ class HdfsCluster:
         self.placement_policy = placement_policy or DefaultPlacementPolicy(
             seed=config.seed
         )
+        #: chaos hook: an object with ``on_read(cluster, path, node,
+        #: n_bytes)`` that may raise :class:`HdfsError` (that replica's
+        #: read fails; the client falls back to the next holder) or
+        #: charge a slow-disk delay via :meth:`note_fault_delay`.
+        self.fault_injector = None
+        #: simulated clock charged by slow-disk faults and read backoff
+        self.sim_clock = sim_clock
+        #: bounded backoff when *every* replica of a range errors at once
+        self.retry_policy = RetryPolicy()
         self._rereplication_events = self.registry.counter(
             "hdfs_rereplication_events_total",
             "Files that received a new replica after failures/rebalancing",
         )
+        self._read_errors = self.registry.counter(
+            "hdfs_read_errors_total",
+            "Replica reads failed by fault injection, per serving node",
+            labels=("node",),
+        )
+        self._fault_delay = self.registry.counter(
+            "hdfs_fault_delay_seconds_total",
+            "Simulated seconds added by slow-disk faults",
+        )
+
+    # -- fault bookkeeping (called by the chaos controller's injector) -------
+
+    def note_fault_delay(self, seconds: float) -> None:
+        if seconds > 0:
+            self._fault_delay.inc(seconds)
+            if self.sim_clock is not None:
+                self.sim_clock.advance(seconds)
+
+    @property
+    def read_errors(self) -> int:
+        return int(self._read_errors.total())
 
     # -- namespace -----------------------------------------------------------
 
@@ -201,11 +233,43 @@ class HdfsCluster:
         alive_holders = [n for n in f.replicas if self.nodes[n].alive]
         if not alive_holders:
             raise HdfsError(f"all replicas of {path} are on dead nodes")
+        # Preferred replica order: reader-local short circuit first, then
+        # the remaining holders in replica order (the fallback chain a
+        # DFS client walks when a datanode read errors out).
         if reader is not None and reader in alive_holders:
-            self.nodes[reader].bytes_read_local += len(data)
+            candidates = [reader] + [n for n in alive_holders if n != reader]
         else:
-            self.nodes[alive_holders[0]].bytes_read_remote += len(data)
-        return data
+            candidates = list(alive_holders)
+
+        def serve_from(node: str) -> bytes:
+            if self.fault_injector is not None:
+                self.fault_injector.on_read(self, path, node, len(data))
+            if node == reader:
+                self.nodes[node].bytes_read_local += len(data)
+            else:
+                self.nodes[node].bytes_read_remote += len(data)
+            return data
+
+        if self.fault_injector is None:
+            return serve_from(candidates[0])
+
+        def attempt() -> bytes:
+            last_error = None
+            for node in candidates:
+                try:
+                    return serve_from(node)
+                except HdfsError as exc:
+                    self._read_errors.inc(node=node)
+                    if self.events is not None:
+                        self.events.emit("hdfs", "read_error",
+                                         path=path, node=node)
+                    last_error = exc
+            raise HdfsError(
+                f"every replica read of {path} failed: {last_error}"
+            ) from last_error
+
+        return self.retry_policy.run(attempt, clock=self.sim_clock,
+                                     retryable=(HdfsError,))
 
     def is_local(self, path: str, node: str) -> bool:
         f = self._file(path)

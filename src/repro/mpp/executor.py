@@ -162,11 +162,21 @@ class _RunContext:
 
     def __init__(self, trans, mode: str, n_lanes: int, vector_size: int,
                  clock=None, scheduler: Optional[StreamScheduler] = None,
-                 meter: Optional[MemoryMeter] = None):
+                 meter: Optional[MemoryMeter] = None,
+                 workers: Optional[List[str]] = None,
+                 session_master: Optional[str] = None):
         self.trans = trans
         self.mode = mode
         self.n_lanes = n_lanes
         self.vector_size = vector_size
+        #: worker set and master *snapshotted at prepare time*: a
+        #: failover may reshape the cluster while this run is suspended,
+        #: and a half-built run mixing old and new worker lists would be
+        #: internally inconsistent. The workload manager unwinds and
+        #: re-prepares affected runs; this snapshot makes the hazard
+        #: impossible even for runs it misses.
+        self.workers: List[str] = list(workers or [])
+        self.session_master: Optional[str] = session_master
         #: private per-query scheduler by default; the workload manager
         #: injects its shared cluster-wide scheduler instead
         self.scheduler = scheduler or StreamScheduler(clock)
@@ -433,6 +443,8 @@ class MppExecutor:
             vector_size=cluster.config.vector_size,
             clock=getattr(cluster, "sim_clock", None),
             scheduler=scheduler, meter=meter,
+            workers=cluster.workers,
+            session_master=cluster.session_master,
         )
         t0 = _time.perf_counter()
         top = root
@@ -501,29 +513,31 @@ class MppExecutor:
                 prof = state.op.profile
                 if prof is not None:
                     streams.observe(prof.cum_time,
-                                    node=self._node_of(state.stream))
+                                    node=self._node_of(state.stream, ctx))
 
     # ---------------------------------------------------------------- streams
 
-    def _node_of(self, stream: str) -> str:
-        return (self.cluster.session_master
-                if stream == MASTER_STREAM else stream)
+    def _node_of(self, stream: str, ctx: _RunContext) -> str:
+        if stream == MASTER_STREAM:
+            return ctx.session_master or self.cluster.session_master
+        return stream
 
-    def _source_streams(self, child: P.PhysNode) -> List[str]:
+    def _source_streams(self, child: P.PhysNode,
+                        ctx: _RunContext) -> List[str]:
         """Which streams feed an exchange, from the child's distribution:
         a master-side child sends from the master stream, a replicated
         child from one representative worker, a partitioned child from
-        every worker."""
+        every worker (the run's prepare-time snapshot of the set)."""
         kind = child.distribution.kind
         if kind == P.MASTER:
             return [MASTER_STREAM]
         if kind == P.REPLICATED:
-            return [self.cluster.workers[0]]
-        return list(self.cluster.workers)
+            return [ctx.workers[0]]
+        return list(ctx.workers)
 
     def _meter(self, op: Operator, stream: str, ctx: _RunContext) -> None:
         op.memory_meter = ctx.meter
-        op.memory_node = self._node_of(stream)
+        op.memory_node = self._node_of(stream, ctx)
 
     # ------------------------------------------------------------------ build
 
@@ -538,7 +552,7 @@ class MppExecutor:
                 and not isinstance(phys, P.DXBroadcast)):
             shared = ctx.replays.get(phys)
             if shared is None:
-                home = self.cluster.workers[0]
+                home = ctx.workers[0]
                 real = self._build_op(phys, home, ctx, share_ok=False)
                 shared = _SharedReplay(real, ctx.scheduler)
                 ctx.replays[phys] = shared
@@ -562,7 +576,8 @@ class MppExecutor:
             return self._exchange_receiver(phys, stream, ctx)
 
         if isinstance(phys, P.PScan):
-            op = StreamingScan(self.cluster, phys, self._node_of(stream), ctx)
+            op = StreamingScan(self.cluster, phys,
+                               self._node_of(stream, ctx), ctx)
             self._meter(op, stream, ctx)
             return op
 
@@ -607,7 +622,7 @@ class MppExecutor:
             ctx.exchanges[phys] = ex
             ctx.exchange_order.append(ex)
             child = phys.children[0]
-            for src_stream in self._source_streams(child):
+            for src_stream in self._source_streams(child, ctx):
                 child_op = self._build_op(child, src_stream, ctx,
                                           share_ok=True)
                 sender = ex.add_sender(src_stream, child_op)
@@ -617,7 +632,7 @@ class MppExecutor:
         return receiver
 
     def _make_exchange(self, phys: P.PhysNode, ctx: _RunContext) -> Exchange:
-        workers = list(self.cluster.workers)
+        workers = list(ctx.workers)
         if isinstance(phys, P.DXUnion):
             dests = [MASTER_STREAM]
 
@@ -644,7 +659,8 @@ class MppExecutor:
             raise ExecutionError(f"not an exchange: {phys!r}")
         return Exchange(
             phys.describe(), self.cluster.mpi, route, dests,
-            self._node_of, ctx.scheduler, meter=ctx.meter,
+            lambda stream: self._node_of(stream, ctx),
+            ctx.scheduler, meter=ctx.meter,
             mode=ctx.mode, n_lanes=ctx.n_lanes,
             registry=getattr(self.cluster, "registry", None),
         )

@@ -17,7 +17,13 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, Mapping, Optional, Tuple
 
+from repro.common.errors import NetworkTimeout
+from repro.common.retry import RetryPolicy
 from repro.obs import MetricsRegistry
+
+#: per-link bandwidth used to convert bytes into simulated transfer time
+#: for straggler-link faults (10Gb Ethernet, the paper's cluster)
+LINK_BANDWIDTH = 1.25e9
 
 
 def dxchg_buffer_memory(n_nodes: int, n_cores: int, message_size: int,
@@ -65,9 +71,19 @@ class MpiFabric:
     """Counts traffic between named nodes through the metrics registry."""
 
     def __init__(self, message_size: int = 256 * 1024,
-                 registry: Optional[MetricsRegistry] = None):
+                 registry: Optional[MetricsRegistry] = None,
+                 sim_clock=None):
         self.message_size = message_size
         self.registry = registry or MetricsRegistry()
+        #: chaos hook: an object with ``on_send(fabric, src, dst, n_bytes)``
+        #: that may raise :class:`NetworkTimeout` (drop), advance the
+        #: simulated clock (delay / straggler link) or return the number
+        #: of duplicate wire copies to account. None = perfect network.
+        self.faults = None
+        #: simulated clock charged by fault delays and retry backoff
+        self.sim_clock = sim_clock
+        #: bounded exponential backoff for dropped messages
+        self.retry_policy = RetryPolicy()
         self._bytes = self.registry.counter(
             "net_bytes_total", "Payload bytes on the wire per link",
             labels=("src", "dst"),
@@ -85,9 +101,81 @@ class MpiFabric:
             "net_local_bytes_total",
             "Intra-node pointer-pass bytes (never on the wire)",
         )
+        self._drops = self.registry.counter(
+            "net_dropped_messages_total",
+            "Wire messages dropped by fault injection", labels=("src", "dst"),
+        )
+        self._retries = self.registry.counter(
+            "net_retries_total", "Sends retried after a dropped message",
+        )
+        self._duplicates = self.registry.counter(
+            "net_duplicate_messages_total",
+            "Wire messages duplicated by fault injection",
+        )
+        self._fault_delay = self.registry.counter(
+            "net_fault_delay_seconds_total",
+            "Simulated seconds added by link delay/straggler faults",
+        )
         #: live dict-like views kept for existing callers
         self.bytes_by_link = _LinkView(self._bytes)
         self.messages_by_link = _LinkView(self._messages)
+
+    # -- fault bookkeeping (called by the chaos controller's injector) -------
+
+    def note_drop(self, src: str, dst: str) -> None:
+        self._drops.inc(src=src, dst=dst)
+
+    def note_duplicate(self) -> None:
+        self._duplicates.inc()
+
+    def note_fault_delay(self, seconds: float) -> None:
+        if seconds > 0:
+            self._fault_delay.inc(seconds)
+            if self.sim_clock is not None:
+                self.sim_clock.advance(seconds)
+
+    @property
+    def dropped_messages(self) -> int:
+        return int(self._drops.total())
+
+    @property
+    def send_retries(self) -> int:
+        return int(self._retries.total())
+
+    # -- wire accounting -----------------------------------------------------
+
+    def _deliver(self, src: str, dst: str, n_bytes: int,
+                 messages: int) -> None:
+        """Account one successful transfer of ``messages`` wire slots."""
+        self._bytes.inc(n_bytes, src=src, dst=dst)
+        self._messages.inc(messages, src=src, dst=dst)
+        padding = messages * self.message_size - n_bytes
+        if padding > 0:
+            self._padding.inc(padding, src=src, dst=dst)
+
+    def _transmit(self, src: str, dst: str, n_bytes: int,
+                  messages: int) -> None:
+        """Push a transfer through the (possibly faulty) wire.
+
+        With no fault injector installed this is a plain delivery. With
+        one, a drop surfaces as :class:`NetworkTimeout`: the sender
+        times out, backs off (simulated seconds, bounded exponential)
+        and resends under the fabric's retry budget; duplication
+        accounts extra wire copies of the same message.
+        """
+        if self.faults is None:
+            self._deliver(src, dst, n_bytes, messages)
+            return
+
+        def attempt():
+            copies = self.faults.on_send(self, src, dst, n_bytes)
+            for _ in range(1 + max(0, int(copies or 0))):
+                self._deliver(src, dst, n_bytes, messages)
+
+        self.retry_policy.run(
+            attempt, clock=self.sim_clock, retryable=(NetworkTimeout,),
+            on_retry=lambda *_: self._retries.inc(),
+        )
 
     def send(self, src: str, dst: str, n_bytes: int) -> None:
         """Record a one-shot transfer; intra-node sends are pointer passes.
@@ -103,11 +191,7 @@ class MpiFabric:
             self._local.inc(n_bytes)
             return
         messages = max(1, -(-n_bytes // self.message_size))
-        self._bytes.inc(n_bytes, src=src, dst=dst)
-        self._messages.inc(messages, src=src, dst=dst)
-        padding = messages * self.message_size - n_bytes
-        if padding > 0:
-            self._padding.inc(padding, src=src, dst=dst)
+        self._transmit(src, dst, n_bytes, messages)
 
     def send_message(self, src: str, dst: str, n_bytes: int) -> None:
         """Record one wire message carrying ``n_bytes`` of payload.
@@ -121,10 +205,7 @@ class MpiFabric:
         if src == dst:
             self._local.inc(n_bytes)
             return
-        self._bytes.inc(n_bytes, src=src, dst=dst)
-        self._messages.inc(1, src=src, dst=dst)
-        if n_bytes < self.message_size:
-            self._padding.inc(self.message_size - n_bytes, src=src, dst=dst)
+        self._transmit(src, dst, n_bytes, 1)
 
     @property
     def local_bytes(self) -> int:

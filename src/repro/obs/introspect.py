@@ -2,12 +2,12 @@
 
 The cluster describes itself through its own SQL engine:
 
-* **System tables** -- :class:`SystemCatalog` registers eight virtual
+* **System tables** -- :class:`SystemCatalog` registers nine virtual
   ``vh$`` tables (:data:`SYSTEM_TABLES`) whose partitions are live
   snapshots of the metrics registry, the HDFS block map, per-column
-  compression statistics, PDT overlay sizes, the cluster event log and
-  the workload manager's query/session records (including queued,
-  running and cancelled queries). A :class:`VirtualTable` quacks like a
+  compression statistics, PDT overlay sizes, the cluster event log, the
+  workload manager's query/session records (including queued, running
+  and cancelled queries) and the chaos controller's fault plan. A :class:`VirtualTable` quacks like a
   :class:`~repro.storage.table.StoredTable` (schema, replication,
   ``scan_partition``), so the binder, rewriter and streaming executor
   treat them exactly like replicated base tables -- a ``SELECT`` against
@@ -221,7 +221,25 @@ def _queries_rows(cluster) -> List[tuple]:
             rec.statement,
             (end_wall - rec.submit_wall) * 1e3,
             (end_sim - rec.submit_sim) * 1e3,
-            rec.wait_sim * 1e3, rec.rounds,
+            rec.wait_sim * 1e3, rec.rounds, rec.retries,
+        ))
+    return rows
+
+
+def _faults_rows(cluster) -> List[tuple]:
+    """The installed chaos controller's plan, with per-fault outcomes."""
+    chaos = getattr(cluster, "chaos", None)
+    if chaos is None:
+        return []
+    fired = {f.spec.key(): f for f in chaos.fired}
+    rows = []
+    for i, spec in enumerate(chaos.plan):
+        hit = fired.get(spec.key())
+        rows.append((
+            i, spec.at, spec.kind, spec.target, spec.param, spec.count,
+            "fired" if hit is not None else "pending",
+            hit.detail if hit is not None else "",
+            int(hit.invariant_ok) if hit is not None else 1,
         ))
     return rows
 
@@ -283,8 +301,14 @@ SYSTEM_TABLES = (
     ("vh$queries",
      [("query", INT64), ("session", INT64), ("state", STRING),
       ("root", STRING), ("statement", STRING), ("wall_ms", FLOAT64),
-      ("sim_ms", FLOAT64), ("wait_ms", FLOAT64), ("rounds", INT64)],
+      ("sim_ms", FLOAT64), ("wait_ms", FLOAT64), ("rounds", INT64),
+      ("retries", INT64)],
      _queries_rows),
+    ("vh$faults",
+     [("idx", INT64), ("at", FLOAT64), ("kind", STRING),
+      ("target", STRING), ("param", FLOAT64), ("count", INT64),
+      ("status", STRING), ("detail", STRING), ("invariant_ok", INT64)],
+     _faults_rows),
     ("vh$sessions",
      [("session", INT64), ("queries", INT64), ("queued", INT64),
       ("running", INT64), ("finished", INT64), ("cancelled", INT64),

@@ -17,7 +17,11 @@ from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
 
-from repro.common.errors import ConstraintViolation, TransactionAborted
+from repro.common.errors import (
+    ConstraintViolation,
+    SimulatedCrash,
+    TransactionAborted,
+)
 from repro.pdt.stack import TransPdt
 
 _COORDINATION_MESSAGE_BYTES = 64  # prepare/commit votes are tiny
@@ -31,6 +35,9 @@ class DistributedTransaction:
     manager: "TransactionManager"
     parts: Dict[Tuple[str, int], TransPdt] = field(default_factory=dict)
     finished: bool = False
+    #: partitions whose prepare record hit the WAL (phase 1); an abort
+    #: after any prepares logs abort records so WAL scans skip the txn
+    prepared: list = field(default_factory=list)
 
     def trans_for(self, table: str, pid: int) -> TransPdt:
         """The Trans-PDT for one partition, created lazily at first touch."""
@@ -75,6 +82,15 @@ class TransactionManager:
             "txn_log_shipped_bytes_total",
             "Replicated-table log bytes shipped to other workers",
         )
+        self._resolved = registry.counter(
+            "txn_in_doubt_resolved_total",
+            "In-doubt transactions settled by presumed-abort recovery",
+            labels=("outcome",),
+        )
+        #: chaos hook: ``crash_hook(point, txn)`` called at 2PC injection
+        #: points; raising :class:`SimulatedCrash` models the coordinator
+        #: node dying there, leaving the transaction in doubt.
+        self.crash_hook = None
 
     @property
     def commits(self) -> int:
@@ -133,6 +149,9 @@ class TransactionManager:
         with tracer.span("commit", txn=txn.txn_id,
                          partitions=len(involved)):
             # ---- phase 1: prepare ---------------------------------------------
+            # Each participant validates, then force-logs the redo entries
+            # it would apply *before* voting yes. Presumed abort: a
+            # prepare record with no global decision resolves to abort.
             with tracer.span("txn.prepare"):
                 for (table, pid), trans in involved:
                     node = cluster.responsible(table, pid)
@@ -147,13 +166,29 @@ class TransactionManager:
                         raise TransactionAborted(
                             f"write-write conflict on {table} partition {pid}"
                         )
+                    redo = [e.clone() for e in
+                            sorted(trans.layer.entries, key=lambda e: e.seq)]
+                    cluster.wal.log_prepare(table, pid, txn.txn_id, redo,
+                                            writer=node)
+                    txn.prepared.append((table, pid))
                     cluster.mpi.send(node, master,
                                      _COORDINATION_MESSAGE_BYTES)
                     self._prepares.inc()
                 self._check_constraints(txn, involved)
+            self._crash_point("prepare.done", txn)
 
             # ---- phase 2: commit -----------------------------------------------
+            # The decision record is the commit point: it is forced to the
+            # global WAL before any partition applies, so a crash anywhere
+            # in phase 2 still resolves to commit from the prepare records.
             with tracer.span("txn.commit"):
+                cluster.wal.log_global(
+                    "decision",
+                    (txn.txn_id, "commit", [key for key, _ in involved]),
+                    writer=master,
+                )
+                self._crash_point("decision.logged", txn)
+                applied = 0
                 for (table, pid), trans in involved:
                     node = cluster.responsible(table, pid)
                     cluster.mpi.send(master, node,
@@ -164,20 +199,88 @@ class TransactionManager:
                                            writer=node)
                     if stored.is_replicated:
                         self._ship_log(table, entries, node)
-                cluster.wal.log_global(
-                    "decision",
-                    (txn.txn_id, "commit", [key for key, _ in involved]),
-                    writer=master,
-                )
+                    applied += 1
+                    if applied == 1 and len(involved) > 1:
+                        self._crash_point("commit.partial", txn)
         txn.finished = True
         self._outcomes.inc(outcome="commit")
         self._emit_outcome(txn, "commit", partitions=len(involved))
 
+    def _crash_point(self, point: str, txn: DistributedTransaction) -> None:
+        """Chaos injection point inside the 2PC state machine.
+
+        If the armed hook raises :class:`SimulatedCrash` the transaction
+        is left to recovery: the in-memory object is marked finished so
+        no caller can re-drive it, and the WAL records written so far
+        determine its fate in :meth:`resolve_in_doubt`.
+        """
+        if self.crash_hook is None:
+            return
+        try:
+            self.crash_hook(point, txn)
+        except SimulatedCrash:
+            txn.finished = True
+            raise
+
     def abort(self, txn: DistributedTransaction) -> None:
+        # Settle any phase-1 prepare records so WAL scans never flag this
+        # txn as in doubt (presumed abort would resolve it the same way,
+        # but only after paying a recovery scan).
+        for table, pid in txn.prepared:
+            self.cluster.wal.log_abort(
+                table, pid, txn.txn_id,
+                writer=self.cluster.responsible(table, pid),
+            )
+        txn.prepared.clear()
         txn.parts.clear()
         txn.finished = True
         self._outcomes.inc(outcome="abort")
         self._emit_outcome(txn, "abort")
+
+    # ----------------------------------------------------------------- recovery
+
+    def resolve_in_doubt(self) -> Dict[str, list]:
+        """Presumed-abort recovery, run by the (new) session master.
+
+        Scans every partition WAL for prepared-but-unresolved
+        transactions and settles each against the global WAL's decision
+        records: with a logged commit decision the prepared redo entries
+        are applied -- unless a commit record shows that partition
+        already applied them, which keeps replay exactly-once -- and the
+        missing commit record is appended; without a decision the
+        transaction is presumed aborted and an abort record written so
+        later scans skip it. Idempotent: a second pass finds nothing.
+        """
+        cluster = self.cluster
+        master = cluster.session_master
+        decisions = cluster.wal.decisions(reader=master)
+        committed: Dict[int, list] = {}
+        aborted: Dict[int, list] = {}
+        for table in sorted(cluster.tables):
+            stored = cluster.tables[table]
+            for pid in range(stored.n_partitions):
+                in_doubt = cluster.wal.in_doubt_txns(table, pid,
+                                                     reader=master)
+                for txn_id in sorted(in_doubt):
+                    node = cluster.responsible(table, pid)
+                    if decisions.get(txn_id) == "commit":
+                        stored.pdt[pid].apply_replicated(in_doubt[txn_id])
+                        cluster.wal.log_commit(table, pid, txn_id,
+                                               in_doubt[txn_id], writer=node)
+                        committed.setdefault(txn_id, []).append((table, pid))
+                    else:
+                        cluster.wal.log_abort(table, pid, txn_id,
+                                              writer=node)
+                        aborted.setdefault(txn_id, []).append((table, pid))
+        events = getattr(cluster, "events", None)
+        for outcome, settled in (("commit", committed), ("abort", aborted)):
+            for txn_id in sorted(settled):
+                self._resolved.inc(outcome=outcome)
+                self._outcomes.inc(outcome=outcome)
+                if events is not None:
+                    events.emit("txn", f"resolved_{outcome}", txn=txn_id,
+                                partitions=len(settled[txn_id]))
+        return {"committed": sorted(committed), "aborted": sorted(aborted)}
 
     def _emit_outcome(self, txn, outcome: str, **attrs) -> None:
         events = getattr(self.cluster, "events", None)

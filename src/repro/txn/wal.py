@@ -23,7 +23,7 @@ _LEN = struct.Struct("<I")
 class WalRecord:
     """One log record: a commit, DDL statement or MinMax snapshot."""
 
-    kind: str  # "commit" | "ddl" | "minmax" | "decision"
+    kind: str  # "commit" | "ddl" | "minmax" | "decision" | "prepare" | "abort"
     payload: object
 
     def to_bytes(self) -> bytes:
@@ -104,6 +104,29 @@ class WalManager:
         self._account("commit", len(data))
         return len(data)
 
+    def log_prepare(self, table: str, pid: int, txn_id: int, entries,
+                    writer: Optional[str] = None) -> int:
+        """Phase-1 force-log: the redo entries this partition would apply.
+
+        Presumed-abort 2PC: a prepare record with no later commit record
+        and no global decision means the transaction is in doubt and
+        resolves to abort; with a global commit decision, recovery applies
+        these entries and appends the missing commit record.
+        """
+        record = WalRecord("prepare", (txn_id, entries))
+        data = record.to_bytes()
+        self.hdfs.append(self.partition_wal_path(table, pid), data, writer)
+        self._account("prepare", len(data))
+        return len(data)
+
+    def log_abort(self, table: str, pid: int, txn_id: int,
+                  writer: Optional[str] = None) -> None:
+        """Mark a prepared txn resolved-as-abort so later scans skip it."""
+        record = WalRecord("abort", (txn_id,))
+        data = record.to_bytes()
+        self.hdfs.append(self.partition_wal_path(table, pid), data, writer)
+        self._account("abort", len(data))
+
     def log_minmax(self, table: str, pid: int, minmax_record: dict,
                    writer: Optional[str] = None) -> None:
         record = WalRecord("minmax", minmax_record)
@@ -134,3 +157,30 @@ class WalManager:
             return []
         data = self.hdfs.read(self.global_wal_path, reader=reader)
         return list(WalRecord.stream_from(data))
+
+    # -- recovery scans ---------------------------------------------------------
+
+    def in_doubt_txns(self, table: str, pid: int,
+                      reader: Optional[str] = None) -> dict:
+        """Prepared-but-unresolved txns in one partition WAL.
+
+        Returns ``{txn_id: prepared_entries}`` for every prepare record
+        not followed by a commit or abort record for the same txn.
+        """
+        prepared: dict = {}
+        for rec in self.replay_partition(table, pid, reader=reader):
+            if rec.kind == "prepare":
+                txn_id, entries = rec.payload
+                prepared[txn_id] = entries
+            elif rec.kind in ("commit", "abort"):
+                prepared.pop(rec.payload[0], None)
+        return prepared
+
+    def decisions(self, reader: Optional[str] = None) -> dict:
+        """``{txn_id: outcome}`` from the global WAL's decision records."""
+        out: dict = {}
+        for rec in self.replay_global(reader=reader):
+            if rec.kind == "decision":
+                txn_id, outcome = rec.payload[0], rec.payload[1]
+                out[txn_id] = outcome
+        return out

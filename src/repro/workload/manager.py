@@ -133,6 +133,7 @@ class QueryRecord:
     trans: object = None
     own_txn: bool = False
     memory_estimate: Dict[str, int] = field(default_factory=dict)
+    retries: int = 0
     queue_reason: str = ""
     cancel_reason: str = ""
     error: Optional[BaseException] = None
@@ -254,6 +255,10 @@ class WorkloadManager:
         self._query_ids = itertools.count(1)
         self._session_ids = itertools.count(1)
         self._sessions: Dict[int, Session] = {}
+        #: callables invoked at the top of every :meth:`step` round (the
+        #: chaos controller's tick hangs here; hooks may fail nodes and
+        #: unwind running queries -- the round guards against both)
+        self.round_hooks: List = []
 
         registry = getattr(cluster, "registry", None)
         if registry is None:
@@ -268,6 +273,9 @@ class WorkloadManager:
         self._h_wait = registry.histogram(
             "query_wait_seconds",
             "Simulated seconds queries spent in the admission queue")
+        self._retried = registry.counter(
+            "queries_retried_total",
+            "Queries transparently re-dispatched after losing a worker")
         self._g_queue.set(0)
         self._g_running.set(0)
 
@@ -437,6 +445,8 @@ class WorkloadManager:
         Returns True if any query could run (or was admitted); False
         when the manager is idle.
         """
+        for hook in list(self.round_hooks):
+            hook()
         self._check_timeouts()
         self._admit()
         if not self._running:
@@ -445,6 +455,10 @@ class WorkloadManager:
         finished: List[QueryRecord] = []
         for qid in list(self._running):
             record = self._records[qid]
+            # a round hook (chaos) may have failed a node and unwound
+            # this query back to the queue mid-round
+            if record.state != RUNNING or record.run is None:
+                continue
             self.scheduler.begin_turn()
             try:
                 more = record.run.step()
@@ -557,6 +571,66 @@ class WorkloadManager:
     def _retire(self, record: QueryRecord) -> None:
         if record.query_id in self._running:
             self._running.remove(record.query_id)
+        self._update_gauges()
+
+    # ------------------------------------------------------------- failover
+
+    def on_node_failed(self, node: str) -> Dict[str, List[int]]:
+        """Unwind queries hit by a worker loss; requeue those with budget.
+
+        Called by :meth:`VectorHCluster.fail_node` before the worker set
+        shrinks. Every running query's prepared run caches the worker
+        list and session master of admission time, so all of them are
+        unwound through the cancel path (operators closed, DXchg buffers
+        dropped, memory released, snapshot txn abandoned) and requeued in
+        submission order for transparent re-dispatch on the survivors --
+        up to ``config.query_retry_budget`` times, after which the query
+        fails. Queries on a caller-supplied transaction cannot be
+        silently retried (the caller owns the snapshot) and fail at once.
+        """
+        budget = getattr(self.cluster.config, "query_retry_budget", 2)
+        requeued: List[int] = []
+        failed: List[int] = []
+        for qid in list(self._running):
+            record = self._records[qid]
+            if record.state != RUNNING or record.run is None:
+                continue
+            record.retries += 1
+            if not record.own_txn or record.retries > budget:
+                self._fail(record, ExecutionError(
+                    f"worker {node} lost while query {qid} was running"
+                    + ("" if record.own_txn else " (caller-owned snapshot)")
+                ))
+                failed.append(qid)
+                continue
+            record.run.cancel()
+            record.run = None
+            self._finish_own_txn(record, commit=False)
+            record.trans = None
+            record.own_txn = False
+            record.state = QUEUED
+            record.queue_reason = f"retry after {node} failed"
+            self._running.remove(qid)
+            self._retried.inc()
+            requeued.append(qid)
+            self._emit("query.retry", query=qid, node=node,
+                       attempt=record.retries)
+        for qid in sorted(requeued, reverse=True):
+            self._queue.appendleft(qid)
+        self._update_gauges()
+        return {"requeued": requeued, "failed": failed}
+
+    def redispatch(self) -> None:
+        """Re-admit after failover reshaped the cluster.
+
+        Admission estimates were computed against the old worker set;
+        refresh them so queued queries are judged against the survivors.
+        """
+        for qid in self._queue:
+            record = self._records[qid]
+            record.memory_estimate = estimate_query_memory(
+                self.cluster, record.phys, record.thread_to_node)
+        self._admit()
         self._update_gauges()
 
     # --------------------------------------------------------------- gather

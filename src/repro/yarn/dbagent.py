@@ -58,6 +58,9 @@ class DbAgent:
         #: :meth:`repro.workload.WorkloadManager.load`: a callable
         #: returning {"queued": .., "running": .., "running_streams": ..}
         self.workload_probe: Optional[Callable[[], Dict[str, int]]] = None
+        #: ClusterEventLog wired by the cluster; preemptions are visible
+        #: cluster events (a preemption storm is a chaos fault kind)
+        self.events = None
 
     # -- worker-set selection ---------------------------------------------------
 
@@ -195,6 +198,9 @@ class DbAgent:
             if container in sl.containers:
                 sl.containers.remove(container)
         self.slices = [sl for sl in self.slices if sl.containers]
+        if self.events is not None:
+            self.events.emit("yarn", "slice_preempted", node=container.node,
+                             slices=len(self.slices))
         self._notify()
 
     def _notify(self) -> None:

@@ -190,15 +190,22 @@ class TestRegressions:
         """Exchange senders run where the child distribution lives:
         master-side children send from the master stream (the dead-ternary
         fix), partitioned children from every worker, replicated children
-        from one representative worker."""
+        from one representative worker -- all against the run context's
+        prepare-time snapshot of the worker set."""
+        from repro.mpp.executor import _RunContext
         executor = MppExecutor(cluster)
+        ctx = _RunContext(trans=None, mode="streaming", n_lanes=1,
+                          vector_size=128, workers=cluster.workers,
+                          session_master=cluster.session_master)
         part_scan = P.PScan("fact", ["pk"], [], P.Distribution(
             P.PARTITIONED, ("pk",), co_location="fact"))
         master_child = P.DXUnion(part_scan)
         repl_child = P.DXBroadcast(part_scan)
-        assert executor._source_streams(master_child) == [MASTER_STREAM]
-        assert executor._source_streams(repl_child) == [cluster.workers[0]]
-        assert executor._source_streams(part_scan) == list(cluster.workers)
+        assert executor._source_streams(master_child, ctx) == [MASTER_STREAM]
+        assert executor._source_streams(repl_child, ctx) == \
+            [cluster.workers[0]]
+        assert executor._source_streams(part_scan, ctx) == \
+            list(cluster.workers)
 
     def test_master_side_child_sends_from_master(self, cluster):
         """End to end: splitting a master-resident relation back across

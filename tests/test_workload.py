@@ -297,6 +297,28 @@ class TestCancelTimeout:
         with pytest.raises(QueryCancelled):
             s.gather(qid)
 
+    def test_session_cancel_of_queued_query_leaves_admission_untouched(self):
+        c = _small_cluster(workload_max_concurrent=1)
+        s = c.session()
+        running = s.submit(_sort_plan())
+        queued = s.submit(_sum_plan())
+        c.workload.step()
+        records = {r.query_id: r for r in c.workload.query_records()}
+        assert records[queued].state == "queued"
+        meter_before = dict(c.workload.meter.current)
+        assert s.cancel(queued)
+        # the queued query never charged the meter, so nothing changed
+        assert dict(c.workload.meter.current) == meter_before
+        assert records[queued].state == "cancelled"
+        cancelled = [e.attrs.get("query")
+                     for e in c.events.of_kind("query.cancelled")]
+        assert queued in cancelled
+        with pytest.raises(QueryCancelled):
+            s.gather(queued)
+        # the running query is unaffected and the meter drains to zero
+        s.gather(running)
+        assert all(v == 0 for v in c.workload.meter.current.values())
+
     def test_timeout_cancels_with_query_timeout(self):
         c = _small_cluster(workload_deterministic=True)
         qid = c.submit(_sum_plan(), timeout=0.0)
