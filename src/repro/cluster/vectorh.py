@@ -20,6 +20,7 @@ from repro.flow.assignment import affinity_map, responsibility_assignment
 from repro.hdfs.cluster import HdfsCluster
 from repro.hdfs.placement import VectorHPlacementPolicy
 from repro.mpp.executor import MppExecutor, QueryResult
+from repro.mpp.feedback import CardinalityFeedbackStore
 from repro.mpp.logical import LogicalPlan
 from repro.mpp.rewriter import ParallelRewriter, RewriterFlags
 from repro.net.mpi import MpiFabric
@@ -70,6 +71,11 @@ class VectorHCluster:
         self.sim_clock = SimClock()
         self.tracer = Tracer(sim_clock=self.sim_clock)
         self.events = ClusterEventLog(sim_clock=self.sim_clock)
+        #: observed-cardinality memory consulted by every ParallelRewriter
+        self.feedback = (
+            CardinalityFeedbackStore(registry=self.registry,
+                                     sim_clock=self.sim_clock)
+            if self.config.adaptive_feedback else None)
 
         self.placement = VectorHPlacementPolicy()
         self.hdfs = HdfsCluster(names, self.config, self.placement,
@@ -279,7 +285,7 @@ class VectorHCluster:
 
     def explain(self, plan: LogicalPlan,
                 flags: Optional[RewriterFlags] = None) -> str:
-        return ParallelRewriter(self, flags).rewrite(plan).pretty()
+        return ParallelRewriter(self, flags).plan(plan).pretty()
 
     def explain_analyze(self, plan: LogicalPlan,
                         flags: Optional[RewriterFlags] = None,

@@ -44,6 +44,18 @@ class Config:
     #: query whose worker died mid-flight before failing it
     query_retry_budget: int = 2
 
+    # --- adaptive optimization ----------------------------------------------
+    #: keep a CardinalityFeedbackStore on the cluster: rewriters consult
+    #: observed fragment cardinalities before static stats
+    adaptive_feedback: bool = True
+    #: allow the ExecutionStrategy to re-plan mid-query when an exchange
+    #: decision's live cardinality is >= replan_qerror_threshold off
+    adaptive_replan: bool = True
+    #: q-error (actual/estimate) that triggers a mid-query re-plan
+    replan_qerror_threshold: float = 10.0
+    #: per-query cap on mid-query re-plans
+    replan_max_per_query: int = 2
+
     # --- chaos (fault injection) --------------------------------------------
     #: seed for the chaos controller's private RNG; the same seed yields a
     #: bit-identical fault schedule, event log and invariant report

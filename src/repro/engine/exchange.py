@@ -228,10 +228,17 @@ class Exchange:
         self.finished = False
         self._started = False
         self._open_senders = 0
+        #: called with ``self`` after every pump round -- the adaptive
+        #: ExecutionStrategy watches live ``tuples_in`` and may raise a
+        #: ReplanSignal through the operator generator stack
+        self.watcher: Optional[Callable[["Exchange"], None]] = None
         # accounting
         self.bytes_sent = 0
         self.local_bytes = 0
         self.tuples_sent = 0
+        #: rows that *entered* the exchange (tuples_sent counts each
+        #: broadcast destination; this counts the source rows once)
+        self.tuples_in = 0
         self.tuples_received = 0
         self._queued_bytes = 0
         #: high-water mark of the sender-side channel buffers (the
@@ -274,6 +281,11 @@ class Exchange:
     def messages_sent(self) -> int:
         return sum(ch.messages_sent for ch in self.channels.values())
 
+    @property
+    def senders_done(self) -> bool:
+        """All sender fragments exhausted: ``tuples_in`` is final."""
+        return self._started and self._open_senders == 0
+
     # --------------------------------------------------------- data path
 
     def note_template(self, batch: Batch) -> None:
@@ -285,6 +297,7 @@ class Exchange:
         self.note_template(batch)
         if batch.n == 0:
             return
+        self.tuples_in += batch.n
         for dest_stream, piece in self.route(src_stream, batch):
             if piece.n == 0:
                 continue
@@ -357,6 +370,8 @@ class Exchange:
                 times.append(total)
             self.scheduler.charge_round(times)
             self._finish()
+            if self.watcher is not None:
+                self.watcher(self)
             return
         times = []
         for state in self.senders:
@@ -370,6 +385,8 @@ class Exchange:
         self.scheduler.charge_round(times)
         if self._open_senders == 0:
             self._finish()
+        if self.watcher is not None:
+            self.watcher(self)
 
     def _finish(self) -> None:
         if self.finished:
@@ -447,6 +464,7 @@ class Exchange:
             "local_bytes": self.local_bytes,
             "messages": self.messages_sent,
             "tuples": self.tuples_sent,
+            "tuples_in": self.tuples_in,
             "peak_buffered_bytes": self.peak_buffered,
             "peak_queued_bytes": self.peak_queued,
             "buffer_capacity_bytes": self.buffer_capacity_bytes,

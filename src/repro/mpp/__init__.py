@@ -27,6 +27,8 @@ from repro.mpp.plan import (
     DXUnion,
     PhysNode,
 )
+from repro.mpp.feedback import CardinalityFeedbackStore
+from repro.mpp.strategy import ExecutionStrategy, QueryPlan
 from repro.mpp.rewriter import ParallelRewriter, RewriterFlags
 from repro.mpp.executor import MppExecutor, QueryResult
 
@@ -35,5 +37,6 @@ __all__ = [
     "LSort", "LTopN", "LLimit",
     "PhysNode", "DXchg", "DXUnion", "DXHashSplit", "DXBroadcast",
     "ParallelRewriter", "RewriterFlags",
+    "CardinalityFeedbackStore", "ExecutionStrategy", "QueryPlan",
     "MppExecutor", "QueryResult",
 ]

@@ -90,6 +90,8 @@ class QueryResult:
     trace: Optional[Span] = None
     #: scheduler rounds this query's root stream took to drain
     rounds: int = 0
+    #: mid-query re-plans the adaptive ExecutionStrategy performed
+    replans: int = 0
     #: workload-manager id (None for direct executor calls)
     query_id: Optional[int] = None
     #: simulated seconds spent waiting in the admission queue
@@ -352,11 +354,15 @@ class QueryRun:
         t0 = _time.perf_counter()
         if self._iterator is None:
             self._iterator = self.op.execute()
-        item, dt = self.ctx.scheduler.advance(self._iterator)
-        self.ctx.scheduler.charge_round([dt])
-        self.rounds += 1
-        self.step_wall += _time.perf_counter() - t0
-        self._io_charge(before)
+        try:
+            item, dt = self.ctx.scheduler.advance(self._iterator)
+            self.ctx.scheduler.charge_round([dt])
+        finally:
+            # a ReplanSignal aborts the pull mid-round: still account the
+            # round, the wall time and the IO it caused before unwinding
+            self.rounds += 1
+            self.step_wall += _time.perf_counter() - t0
+            self._io_charge(before)
         if item is DONE:
             self.done = True
             return False
@@ -423,19 +429,48 @@ class MppExecutor:
 
     # ------------------------------------------------------------------ public
 
-    def prepare(self, root: P.PhysNode, trans=None,
+    def prepare(self, plan, trans=None,
                 exchange_mode: str = STREAMING,
                 thread_to_node: bool = True,
                 scheduler: Optional[StreamScheduler] = None,
-                meter: Optional[MemoryMeter] = None) -> QueryRun:
-        """Build the operator tree for a plan without driving it.
+                meter: Optional[MemoryMeter] = None,
+                query_id: Optional[int] = None):
+        """Build the runner for a plan without driving it.
 
-        Returns a :class:`QueryRun` to be stepped to completion. Pass
+        ``plan`` may be a bare physical tree (returns a plain
+        :class:`QueryRun`), a :class:`~repro.mpp.strategy.QueryPlan`
+        (wrapped in a fresh adaptive ExecutionStrategy), or an
+        :class:`~repro.mpp.strategy.ExecutionStrategy` itself. Pass
         ``scheduler``/``meter`` to run on a shared cluster-wide scheduler
         and roll memory accounting up into a shared meter (the workload
         manager's concurrency path); by default each run gets private
         ones, which preserves the old single-query behaviour exactly.
         """
+        if not isinstance(plan, P.PhysNode):
+            from repro.mpp.strategy import ExecutionStrategy, QueryPlan
+            if isinstance(plan, QueryPlan):
+                strategy = ExecutionStrategy(self.cluster, plan)
+            elif isinstance(plan, ExecutionStrategy):
+                strategy = plan
+            else:
+                raise ExecutionError(
+                    f"cannot prepare {type(plan).__name__}: expected a "
+                    "PhysNode, QueryPlan or ExecutionStrategy")
+            return strategy.prepare(
+                self, trans=trans, exchange_mode=exchange_mode,
+                thread_to_node=thread_to_node, scheduler=scheduler,
+                meter=meter, query_id=query_id)
+        return self._prepare_tree(plan, trans=trans,
+                                  exchange_mode=exchange_mode,
+                                  thread_to_node=thread_to_node,
+                                  scheduler=scheduler, meter=meter)
+
+    def _prepare_tree(self, root: P.PhysNode, trans=None,
+                      exchange_mode: str = STREAMING,
+                      thread_to_node: bool = True,
+                      scheduler: Optional[StreamScheduler] = None,
+                      meter: Optional[MemoryMeter] = None) -> QueryRun:
+        """Build the operator tree for one physical plan attempt."""
         cluster = self.cluster
         ctx = _RunContext(
             trans=trans, mode=exchange_mode,
@@ -456,10 +491,11 @@ class MppExecutor:
         return QueryRun(self, root, op, ctx,
                         build_wall=_time.perf_counter() - t0)
 
-    def execute(self, root: P.PhysNode, trans=None,
+    def execute(self, plan, trans=None,
                 exchange_mode: str = STREAMING,
                 thread_to_node: bool = True) -> QueryResult:
-        """Prepare a physical plan and drive it to completion.
+        """Prepare a plan (physical tree or QueryPlan) and drive it to
+        completion.
 
         ``exchange_mode`` selects how exchange sender fragments are
         scheduled: ``"streaming"`` (default) advances them round-robin one
@@ -473,7 +509,7 @@ class MppExecutor:
         tracer = getattr(self.cluster, "tracer", None) or NULL_TRACER
         with tracer.span("execute", mode=exchange_mode) as exec_span:
             with tracer.span("build"):
-                run = self.prepare(root, trans=trans,
+                run = self.prepare(plan, trans=trans,
                                    exchange_mode=exchange_mode,
                                    thread_to_node=thread_to_node)
             with tracer.span("schedule"):

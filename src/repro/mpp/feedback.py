@@ -1,0 +1,197 @@
+"""Cardinality feedback: plan-fragment signatures and the observed-rows store.
+
+The Parallel Rewriter plans from static table statistics (stable row
+counts times fixed selectivities), which is exactly how VectorH's
+rewriter works -- and exactly why repeated misestimates repeat their
+damage: a build side estimated at 50 rows is broadcast again on every
+run even after the first run measured 50,000. This module closes the
+loop the ROADMAP called out:
+
+* :func:`fragment_signature` renders a *normalized* deterministic string
+  for a logical subtree whose output cardinality is worth remembering
+  (scans, selections, joins, aggregations). Projections are transparent
+  (they never change cardinality), join sides are sorted for inner joins
+  (so a build/probe swap still matches), and the binder's auto-generated
+  ``__agg_in_N`` column names are canonicalized (each SQL execution mints
+  fresh numbers for the same query text).
+* :class:`CardinalityFeedbackStore` maps signatures to the last observed
+  row count. ``lookup`` is what the rewriter consults *before* static
+  stats; ``observe`` is fed automatically from per-operator actuals after
+  every managed query (and every EXPLAIN ANALYZE).
+* :func:`collect_actuals` pairs a physical plan's nodes with their
+  executed profiles -- the same pre-order label-pairing idiom EXPLAIN
+  ANALYZE's renderer uses, so the rows it harvests are the rows the
+  annotated plan prints.
+
+The store is deliberately last-write-wins with no decay: the simulation
+is deterministic, so the most recent observation *is* the truth for the
+current data, and keeping the policy trivial keeps warmed-store planning
+bit-reproducible (the determinism acceptance test).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.mpp import logical as L
+from repro.mpp import plan as P
+
+#: the binder mints fresh ``__agg_in_<n>`` / ``col_<n>`` names per parse;
+#: signatures canonicalize them so the same query text always matches
+_AUTO_NAME = re.compile(r"__agg_in_\d+")
+
+
+def _norm(text: str) -> str:
+    return _AUTO_NAME.sub("__agg_in", text)
+
+
+def fragment_signature(node: L.LogicalPlan) -> Optional[str]:
+    """Deterministic signature of a logical subtree, or None when the
+    fragment's cardinality is not worth remembering (sorts, limits,
+    windows: they either preserve or truncate their input)."""
+    if isinstance(node, L.LScan):
+        preds = ",".join(f"{c}{op}{v!r}" for c, op, v in node.skip_predicates)
+        return f"scan({node.table};{preds})"
+    if isinstance(node, L.LSelect):
+        child = fragment_signature(node.child)
+        if child is None:
+            return None
+        return f"select({_norm(repr(node.predicate))})|{child}"
+    if isinstance(node, L.LProject):
+        # projections never change cardinality: transparent
+        return fragment_signature(node.child)
+    if isinstance(node, L.LJoin):
+        build = fragment_signature(node.build)
+        probe = fragment_signature(node.probe)
+        if build is None or probe is None:
+            return None
+        bs = f"{build}#{','.join(node.build_keys)}"
+        ps = f"{probe}#{','.join(node.probe_keys)}"
+        # inner joins are symmetric: sort the sides so the cost-based
+        # build/probe swap still hits the same entry
+        sides = sorted((bs, ps)) if node.how == "inner" else [bs, ps]
+        return f"join({node.how};{sides[0]}|{sides[1]})"
+    if isinstance(node, L.LAggr):
+        child = fragment_signature(node.child)
+        if child is None:
+            return None
+        funcs = ",".join(f"{func}({_norm(repr(expr))})"
+                         for _name, func, expr in node.aggregates)
+        return f"aggr({','.join(node.group_by)};{funcs})|{child}"
+    return None
+
+
+@dataclass
+class FeedbackEntry:
+    """One remembered fragment: what we guessed, what we measured."""
+
+    signature: str
+    estimated: float
+    observed: float
+    hits: int = 0
+    updated: float = 0.0  # sim seconds of the last observe
+
+
+class CardinalityFeedbackStore:
+    """Signature -> observed-rows memory shared by all plans of a cluster.
+
+    ``lookup`` counts hits (and the ``plan_feedback_hits_total`` counter)
+    so the ``vh$plan_feedback`` system table shows which fragments
+    actually steer plans; ``observe`` is last-write-wins and stamps the
+    simulated clock.
+    """
+
+    def __init__(self, registry=None, sim_clock=None):
+        self.entries: Dict[str, FeedbackEntry] = {}
+        self.sim_clock = sim_clock
+        self._hits = None
+        if registry is not None:
+            self._hits = registry.counter(
+                "plan_feedback_hits_total",
+                "Rewriter cardinality estimates answered from feedback")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def _now(self) -> float:
+        return self.sim_clock.seconds if self.sim_clock is not None else 0.0
+
+    def observe(self, signature: str, estimated: float,
+                observed: float) -> None:
+        entry = self.entries.get(signature)
+        if entry is None:
+            self.entries[signature] = FeedbackEntry(
+                signature, float(estimated), float(observed),
+                updated=self._now())
+        else:
+            entry.estimated = float(estimated)
+            entry.observed = float(observed)
+            entry.updated = self._now()
+
+    def lookup(self, signature: str) -> Optional[float]:
+        entry = self.entries.get(signature)
+        if entry is None:
+            return None
+        entry.hits += 1
+        if self._hits is not None:
+            self._hits.inc()
+        return entry.observed
+
+    def snapshot(self) -> List[FeedbackEntry]:
+        return [self.entries[k] for k in sorted(self.entries)]
+
+
+# ---------------------------------------------------------------------------
+# Harvesting actuals from executed plans
+# ---------------------------------------------------------------------------
+
+def flatten_profiles(profiles) -> Dict[str, deque]:
+    """Pre-order label -> profile queues (the EXPLAIN ANALYZE pairing)."""
+    by_label: Dict[str, deque] = {}
+
+    def walk(prof):
+        by_label.setdefault(prof.label, deque()).append(prof)
+        for child in prof.children:
+            walk(child)
+
+    for prof in profiles:
+        walk(prof)
+    return by_label
+
+
+def collect_actuals(phys_root: P.PhysNode, profiles) -> Dict[P.PhysNode, int]:
+    """Map each physical plan node to its executed ``tuples_out``.
+
+    Walks the plan pre-order popping from per-label profile queues --
+    stream-merged profiles already sum tuples across worker streams, so
+    the value is the fragment's *global* output cardinality. Exchange
+    nodes pair with their ``.recv`` profile (and are popped to keep the
+    queues aligned even though exchanges are never annotated).
+    """
+    by_label = flatten_profiles(profiles)
+
+    def pop(label: str):
+        queue = by_label.get(label)
+        if queue is None and "(" in label:
+            # plan qualifiers like Aggr(final)[b] profile as plain Aggr[b]
+            head, _, rest = label.partition("(")
+            _, _, tail = rest.partition(")")
+            queue = by_label.get(head + tail)
+        return queue.popleft() if queue else None
+
+    actuals: Dict[P.PhysNode, int] = {}
+
+    def walk(node: P.PhysNode) -> None:
+        label = node.describe()
+        prof = (pop(label + ".recv") if isinstance(node, P.DXchg)
+                else pop(label))
+        if prof is not None:
+            actuals[node] = int(prof.tuples_out)
+        for child in node.children:
+            walk(child)
+
+    walk(phys_root)
+    return actuals

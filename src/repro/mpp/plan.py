@@ -50,6 +50,12 @@ class PhysNode:
     def describe(self) -> str:
         return self.label
 
+    def walk(self):
+        """Pre-order traversal of this subtree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
     def pretty(self, indent: int = 0) -> str:
         pad = "  " * indent
         lines = [f"{pad}{self.describe()}  <{self.distribution.kind}"

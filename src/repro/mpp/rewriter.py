@@ -27,6 +27,8 @@ from repro.engine.expressions import Col, Div, Expr
 from repro.engine.operators import AggSpec
 from repro.mpp import logical as L
 from repro.mpp import plan as P
+from repro.mpp.feedback import fragment_signature
+from repro.mpp.strategy import ExchangeDecision, NodeEstimate, QueryPlan
 
 
 @dataclass
@@ -39,6 +41,10 @@ class RewriterFlags:
     merge_join: bool = True
     #: estimated build rows * workers below which broadcast beats reshuffle
     net_weight: float = 4.0
+    #: consult the cluster's CardinalityFeedbackStore before static stats
+    use_feedback: bool = True
+    #: allow feedback-driven build/probe swaps on inner joins
+    cost_join_order: bool = True
 
 
 def _table(cluster, name: str):
@@ -55,18 +61,72 @@ class ParallelRewriter:
     def __init__(self, cluster, flags: Optional[RewriterFlags] = None):
         self.cluster = cluster
         self.flags = flags or RewriterFlags()
+        self._annotations: Dict[P.PhysNode, NodeEstimate] = {}
+        self._decisions: List[ExchangeDecision] = []
+        self._est_memo: Dict[int, Tuple[float, bool]] = {}
+        self._sig_memo: Dict[int, Optional[str]] = {}
 
     # ---------------------------------------------------------------- public
 
-    def rewrite(self, root: L.LogicalPlan) -> P.PhysNode:
+    def plan(self, root: L.LogicalPlan) -> QueryPlan:
+        """Plan once: physical tree + cardinality annotations + the
+        exchange decisions an ExecutionStrategy may revisit mid-query."""
+        self._annotations = {}
+        self._decisions = []
+        self._est_memo = {}
+        self._sig_memo = {}
         phys, _ = self._rw(root)
         if phys.distribution.kind != P.MASTER:
             phys = P.DXUnion(phys)
-        return phys
+        return QueryPlan(logical=root, root=phys,
+                         annotations=self._annotations,
+                         decisions=self._decisions, flags=self.flags)
+
+    def rewrite(self, root: L.LogicalPlan) -> P.PhysNode:
+        """Compatibility shim: plan and return the bare physical tree."""
+        return self.plan(root).root
 
     # ------------------------------------------------------------ estimates
 
+    def _store(self):
+        if not self.flags.use_feedback:
+            return None
+        return getattr(self.cluster, "feedback", None)
+
+    def _signature(self, node: L.LogicalPlan) -> Optional[str]:
+        key = id(node)
+        if key not in self._sig_memo:
+            self._sig_memo[key] = fragment_signature(node)
+        return self._sig_memo[key]
+
+    def _estimate(self, node: L.LogicalPlan) -> Tuple[float, bool]:
+        """(rows, feedback_backed): observed cardinality when the store
+        remembers this fragment, static stats otherwise."""
+        key = id(node)
+        memo = self._est_memo.get(key)
+        if memo is not None:
+            return memo
+        store = self._store()
+        if store is not None:
+            signature = self._signature(node)
+            if signature is not None:
+                observed = store.lookup(signature)
+                if observed is not None:
+                    result = (max(float(observed), 1.0), True)
+                    self._est_memo[key] = result
+                    return result
+        result = (self._static_rows(node), False)
+        self._est_memo[key] = result
+        return result
+
     def estimate_rows(self, node: L.LogicalPlan) -> float:
+        return self._estimate(node)[0]
+
+    def estimate_with_source(self, node: L.LogicalPlan) -> Tuple[float, str]:
+        rows, feedback = self._estimate(node)
+        return rows, ("feedback" if feedback else "static")
+
+    def _static_rows(self, node: L.LogicalPlan) -> float:
         if isinstance(node, L.LScan):
             table = _table(self.cluster, node.table)
             rows = sum(p.n_stable for p in table.partitions)
@@ -90,7 +150,40 @@ class ParallelRewriter:
 
     # ----------------------------------------------------------------- rules
 
+    _ANNOTATED = (L.LScan, L.LSelect, L.LProject, L.LJoin, L.LAggr)
+
     def _rw(self, node: L.LogicalPlan) -> Tuple[P.PhysNode, Tuple[str, ...]]:
+        """Dispatch wrapper: cost-based join-order fix-ups before the
+        rewrite, cardinality annotations on the produced node after."""
+        if isinstance(node, L.LJoin):
+            node = self._maybe_swap(node)
+        phys, order = self._rw_node(node)
+        if isinstance(node, self._ANNOTATED):
+            rows, source = self.estimate_with_source(node)
+            self._annotations[phys] = NodeEstimate(
+                signature=self._signature(node), rows=rows, source=source)
+        return phys, order
+
+    def _maybe_swap(self, node: L.LJoin) -> L.LJoin:
+        """Feedback-driven build/probe swap: when observed cardinalities
+        show the planned build side is the bigger one, hash the smaller.
+        Only inner joins without a payload column keep identical output
+        columns under the swap, and only feedback-backed numbers justify
+        overriding the written order (static guesses keep plans stable)."""
+        if not (self.flags.cost_join_order and node.how == "inner"
+                and node.build_payload is None):
+            return node
+        b_rows, b_fb = self._estimate(node.build)
+        p_rows, p_fb = self._estimate(node.probe)
+        if (b_fb or p_fb) and b_rows > p_rows:
+            return L.LJoin(build=node.probe, probe=node.build,
+                           build_keys=list(node.probe_keys),
+                           probe_keys=list(node.build_keys),
+                           how="inner", build_payload=None)
+        return node
+
+    def _rw_node(self, node: L.LogicalPlan) \
+            -> Tuple[P.PhysNode, Tuple[str, ...]]:
         """Returns (physical node, sort-order property)."""
         if isinstance(node, L.LScan):
             return self._rw_scan(node)
@@ -224,8 +317,15 @@ class ParallelRewriter:
             tuple(pdist.keys)
         if probe_aligned:
             reshuffle_cost = build_rows  # probe already in place
+        # rows the *other* choice would move for the probe side -- what a
+        # mid-query watcher needs to re-run this comparison with actuals
+        probe_move_rows = 0.0 if probe_aligned else probe_rows
         if broadcast_cost <= reshuffle_cost:
             bcast = P.DXBroadcast(build)
+            self._decisions.append(ExchangeDecision(
+                node=bcast, signature=self._signature(node.build),
+                choice="broadcast", estimated=build_rows,
+                probe_move_rows=probe_move_rows, n_workers=n_workers))
             dist = pdist if pdist.is_partitioned else \
                 P.Distribution(P.PARTITIONED)
             if not pdist.is_partitioned and pdist.kind != P.MASTER:
@@ -258,6 +358,11 @@ class ParallelRewriter:
             new_build = P.DXHashSplit(build, node.build_keys)
             new_probe = P.DXHashSplit(probe, node.probe_keys)
             out_co = None
+        if new_build is not build:
+            self._decisions.append(ExchangeDecision(
+                node=new_build, signature=self._signature(node.build),
+                choice="repartition", estimated=build_rows,
+                probe_move_rows=probe_move_rows, n_workers=n_workers))
         dist = P.Distribution(P.PARTITIONED, tuple(node.probe_keys),
                               co_location=out_co)
         # exchanges destroy order

@@ -2,12 +2,13 @@
 
 The cluster describes itself through its own SQL engine:
 
-* **System tables** -- :class:`SystemCatalog` registers nine virtual
+* **System tables** -- :class:`SystemCatalog` registers ten virtual
   ``vh$`` tables (:data:`SYSTEM_TABLES`) whose partitions are live
   snapshots of the metrics registry, the HDFS block map, per-column
   compression statistics, PDT overlay sizes, the cluster event log, the
   workload manager's query/session records (including queued, running
-  and cancelled queries) and the chaos controller's fault plan. A :class:`VirtualTable` quacks like a
+  and cancelled queries), the chaos controller's fault plan and the
+  cardinality feedback store. A :class:`VirtualTable` quacks like a
   :class:`~repro.storage.table.StoredTable` (schema, replication,
   ``scan_partition``), so the binder, rewriter and streaming executor
   treat them exactly like replicated base tables -- a ``SELECT`` against
@@ -263,6 +264,15 @@ def _sessions_rows(cluster) -> List[tuple]:
     ]
 
 
+def _plan_feedback_rows(cluster) -> List[tuple]:
+    """The cardinality feedback store: what the rewriter remembers."""
+    store = getattr(cluster, "feedback", None)
+    if store is None:
+        return []
+    return [(e.signature, e.estimated, e.observed, e.hits, e.updated)
+            for e in store.snapshot()]
+
+
 def _schema(name: str, columns: List[Tuple[str, ColumnType]]) -> TableSchema:
     return TableSchema(name=name,
                        columns=[Column(n, t) for n, t in columns])
@@ -314,6 +324,10 @@ SYSTEM_TABLES = (
       ("running", INT64), ("finished", INT64), ("cancelled", INT64),
       ("failed", INT64)],
      _sessions_rows),
+    ("vh$plan_feedback",
+     [("signature", STRING), ("estimated", FLOAT64),
+      ("observed", FLOAT64), ("hits", INT64), ("updated", FLOAT64)],
+     _plan_feedback_rows),
 )
 
 
@@ -357,15 +371,20 @@ def explain_analyze(cluster, plan, flags=None, trans=None,
     before = cluster.registry.snapshot()
     with tracer.span("query", explain="analyze"):
         with tracer.span("rewrite"):
-            phys = ParallelRewriter(cluster, flags).rewrite(plan)
+            qplan = ParallelRewriter(cluster, flags).plan(plan)
         result = cluster.executor.execute(
-            phys, trans=trans, exchange_mode=exchange_mode,
+            qplan, trans=trans, exchange_mode=exchange_mode,
             thread_to_node=thread_to_node,
         )
         with tracer.span("commit", implicit=trans is None):
             pass
     after = cluster.registry.snapshot()
-    text = annotate_plan(phys, result, before, after)
+    # a mid-query re-plan means the batches came from a different tree
+    # than the one planned up front: render what actually ran
+    phys = getattr(result, "_final_root", qplan.root)
+    annotations = getattr(result, "_annotations", qplan.annotations)
+    text = annotate_plan(phys, result, before, after,
+                         annotations=annotations)
     result.plan_text = text
     return text, result
 
@@ -390,15 +409,19 @@ def _series_delta(before, after, name) -> Dict[tuple, float]:
             for key, value in after.get(name, {}).items()}
 
 
-def annotate_plan(phys, result, before, after) -> str:
+def annotate_plan(phys, result, before, after, annotations=None) -> str:
     """Render a physical plan with per-operator actuals.
 
     Per operator: ``rows`` (tuples produced, summed over streams) and
     ``stream_time`` (slowest stream's wall time -- the per-round critical
-    path the simulated clock charges). Exchanges add total wire traffic
-    plus one line per node->node link; scans add MinMax skipped/total
-    blocks for their table. The footer reconciles totals against the
-    registry snapshot diff.
+    path the simulated clock charges). With planner ``annotations``, each
+    annotated operator also shows its estimated rows (``est``, tagged
+    ``(fb)`` when feedback-backed) and the q-error
+    ``max(actual/est, est/actual)`` -- misestimates are visible without
+    reading the feedback store. Exchanges add total wire traffic plus one
+    line per node->node link; scans add MinMax skipped/total blocks for
+    their table. The footer reconciles totals against the registry
+    snapshot diff.
     """
     profiles = _flatten_profiles(result.profiles)
     exchange_stats: Dict[str, deque] = {}
@@ -434,6 +457,14 @@ def annotate_plan(phys, result, before, after) -> str:
             stream_time = (max(prof.stream_times) if prof.stream_times
                            else prof.cum_time)
             actuals.append(f"stream_time={stream_time * 1e3:.3f}ms")
+        ann = annotations.get(node) if annotations else None
+        if ann is not None:
+            fb = "(fb)" if ann.source == "feedback" else ""
+            actuals.append(f"est={ann.rows:.0f}{fb}")
+            if prof is not None:
+                actual = max(float(prof.tuples_out), 1.0)
+                est = max(float(ann.rows), 1.0)
+                actuals.append(f"q={max(actual / est, est / actual):.1f}")
         stats = None
         if is_exchange:
             queue = exchange_stats.get(node.describe())

@@ -228,9 +228,10 @@ class _SelectBinder:
             cols = [c for c in needed if c in schema.column_names]
             per_table[t] = cols or schema.column_names[:1]
         skip = self._skip_predicates(tables)
+        joins = self._order_joins(stmt.joins, per_table, skip)
         plan: LogicalPlan = LScan(stmt.table, per_table[stmt.table],
                                   skip[stmt.table])
-        for join in stmt.joins:
+        for join in joins:
             build = LScan(join.table, per_table[join.table],
                           skip[join.table])
             # ON a = b: figure out which side each key belongs to
@@ -242,6 +243,43 @@ class _SelectBinder:
             plan = LJoin(build=build, probe=plan, build_keys=[bk],
                          probe_keys=[pk], how=join.how)
         return plan
+
+    def _order_joins(self, joins, per_table, skip):
+        """Cost-based join order for pure star queries.
+
+        The written JOIN order builds a left-deep chain where every build
+        side is joined against the running probe; when the feedback store
+        has *measured* cardinalities for the dimension scans, stacking
+        the smallest dimension innermost shrinks every intermediate
+        result. Only fires for all-inner star joins (every ON clause
+        keys back to the FROM table), and only when at least one scan
+        estimate is feedback-backed -- cold plans keep the written order
+        bit-for-bit, which keeps planning deterministic.
+        """
+        stmt = self.stmt
+        if len(joins) < 2 or any(j.how != "inner" for j in joins):
+            return joins
+        base_cols = set(_table(self.cluster, stmt.table).schema.column_names)
+        for join in joins:
+            build_cols = _table(self.cluster, join.table).schema.column_names
+            probe_key = (join.right_key if join.left_key in build_cols
+                         else join.left_key)
+            if probe_key not in base_cols:
+                return joins  # not a star: keep the written order
+        from repro.mpp.rewriter import ParallelRewriter
+        rewriter = ParallelRewriter(self.cluster)
+        estimates = []
+        any_feedback = False
+        for join in joins:
+            scan = LScan(join.table, per_table[join.table],
+                         skip[join.table])
+            rows, source = rewriter.estimate_with_source(scan)
+            any_feedback = any_feedback or source == "feedback"
+            estimates.append(rows)
+        if not any_feedback:
+            return joins
+        return [j for _, j in sorted(zip(estimates, joins),
+                                     key=lambda pair: pair[0])]
 
     def _projection_and_aggregation(self, plan: LogicalPlan) -> LogicalPlan:
         stmt = self.stmt

@@ -82,7 +82,8 @@ def _walk_phys(node: P.PhysNode):
 
 
 def estimate_query_memory(cluster, phys: P.PhysNode,
-                          thread_to_node: bool = True) -> Dict[str, int]:
+                          thread_to_node: bool = True,
+                          annotations=None) -> Dict[str, int]:
     """Conservative per-node byte estimate for admission control.
 
     Scans contribute twice the decompressed bytes of the table's largest
@@ -92,6 +93,11 @@ def estimate_query_memory(cluster, phys: P.PhysNode,
     :func:`repro.net.mpi.dxchg_buffer_memory` captures) on every sender
     node plus one landing allowance on each destination. The total gets
     a safety factor for pipeline-breaker state.
+
+    When ``annotations`` (a QueryPlan's per-node estimates) carries a
+    *feedback-backed* cardinality for a scan, the estimate trusts the
+    measured rows-out instead of the worst-case partition size -- so
+    admission estimates tighten over repeated workloads.
     """
     workers = list(cluster.workers)
     per_node: Dict[str, int] = dict.fromkeys(workers, 0)
@@ -105,6 +111,12 @@ def estimate_query_memory(cluster, phys: P.PhysNode,
             if getattr(table, "is_virtual", False):
                 continue
             width = 8 * max(1, len(node.columns))
+            ann = annotations.get(node) if annotations else None
+            if ann is not None and ann.source == "feedback":
+                per_part = ann.rows / max(1, table.n_partitions)
+                for w in workers:
+                    per_node[w] += 2 * int(max(per_part, 1.0)) * width
+                continue
             biggest = max((p.n_stable for p in table.partitions), default=0)
             for w in workers:
                 per_node[w] += 2 * biggest * width
@@ -139,6 +151,9 @@ class QueryRecord:
     error: Optional[BaseException] = None
     run: Optional[QueryRun] = None
     result: Optional[QueryResult] = None
+    #: the planned QueryPlan (annotations + exchange decisions); None for
+    #: callers that submitted a bare physical tree
+    qplan: Optional[object] = None
     submit_wall: float = 0.0
     submit_sim: float = 0.0
     admit_wall: float = 0.0
@@ -352,7 +367,8 @@ class WorkloadManager:
         root.wall_start, root.sim_start = wall0, sim0
         rewrite = Span("rewrite")
         rewrite.wall_start, rewrite.sim_start = wall0, sim0
-        phys = ParallelRewriter(cluster, flags).rewrite(plan)
+        qplan = ParallelRewriter(cluster, flags).plan(plan)
+        phys = qplan.root
         rewrite.wall_end = _time.perf_counter()
         rewrite.sim_end = self._clock.seconds
 
@@ -374,10 +390,12 @@ class WorkloadManager:
             exchange_mode=exchange_mode, thread_to_node=thread_to_node,
             trace=trace, timeout=timeout, trans=trans,
             memory_estimate=(memory_estimate if memory_estimate is not None
-                             else estimate_query_memory(cluster, phys,
-                                                        thread_to_node)),
+                             else estimate_query_memory(
+                                 cluster, phys, thread_to_node,
+                                 annotations=qplan.annotations)),
             submit_wall=wall0, submit_sim=sim0,
             root_span=root, trace_parent=parent,
+            qplan=qplan,
         )
         self._records[qid] = record
         self._queue.append(qid)
@@ -416,11 +434,13 @@ class WorkloadManager:
         # partition's Trans-PDT now, not at first pull many rounds later
         cluster.txn.pin_snapshot(record.trans, self._scan_parts(record.phys))
         record.run = cluster.executor.prepare(
-            record.phys, trans=record.trans,
+            record.qplan if record.qplan is not None else record.phys,
+            trans=record.trans,
             exchange_mode=record.exchange_mode,
             thread_to_node=record.thread_to_node,
             scheduler=self.scheduler,
             meter=MemoryMeter(parent=self.meter),
+            query_id=record.query_id,
         )
         self._running.append(record.query_id)
         self._emit("query.admitted", query=record.query_id,
@@ -629,7 +649,9 @@ class WorkloadManager:
         for qid in self._queue:
             record = self._records[qid]
             record.memory_estimate = estimate_query_memory(
-                self.cluster, record.phys, record.thread_to_node)
+                self.cluster, record.phys, record.thread_to_node,
+                annotations=(record.qplan.annotations
+                             if record.qplan is not None else None))
         self._admit()
         self._update_gauges()
 
