@@ -27,9 +27,10 @@ from __future__ import annotations
 
 import json
 
-from benchmarks.conftest import RESULTS_DIR, write_report
+from benchmarks.conftest import RESULTS_DIR, SCALE_FACTOR, write_report
 from repro.common.config import Config
 from repro.cluster import VectorHCluster
+from repro.obs import Histogram
 from repro.tpch import tpch_schemas
 from repro.tpch.queries import q1, q3, q6, q14
 from repro.tpch.schema import LOAD_ORDER
@@ -37,6 +38,10 @@ from repro.tpch.schema import LOAD_ORDER
 LEVELS = (1, 2, 4, 8)
 QUERIES = (("q1", q1), ("q3", q3), ("q6", q6), ("q14", q14))
 COPIES = 2
+
+#: fine geometric grid (~33% steps, 1us..100s) so interpolated latency
+#: quantiles resolve the mix's ~0.1-10ms simulated latencies
+LATENCY_BUCKETS = tuple(10 ** (i / 8) for i in range(-48, 17))
 
 
 def _fresh_cluster(tpch_data, max_concurrent: int) -> VectorHCluster:
@@ -66,12 +71,6 @@ def _capture_plans(cluster):
     return plans
 
 
-def _percentile(values, q: float) -> float:
-    ordered = sorted(values)
-    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
-    return ordered[idx]
-
-
 def _run_mix(cluster, plans):
     """Submit every plan COPIES times, drain, and measure the batch."""
     clock0 = cluster.sim_clock.seconds
@@ -83,11 +82,13 @@ def _run_mix(cluster, plans):
         cluster.gather(qid)
     makespan = cluster.sim_clock.seconds - clock0
     records = {r.query_id: r for r in cluster.workload.query_records()}
-    latencies, rounds_by_name = [], {}
+    latencies = Histogram("mix_latency_seconds", "submit -> finish",
+                          buckets=LATENCY_BUCKETS)
+    rounds_by_name = {}
     for name, qid in submitted:
         record = records[qid]
         assert record.state == "finished"
-        latencies.append(record.finish_sim - record.submit_sim)
+        latencies.observe(record.finish_sim - record.submit_sim)
         rounds_by_name.setdefault(name, []).append(record.rounds)
     fairness = max(max(r) / min(r) for r in rounds_by_name.values())
     serial_total = sum(records[qid].result.simulated_parallel_seconds
@@ -95,8 +96,8 @@ def _run_mix(cluster, plans):
     return {
         "makespan_s": makespan,
         "throughput_qps": len(submitted) / makespan,
-        "p50_latency_s": _percentile(latencies, 0.50),
-        "p95_latency_s": _percentile(latencies, 0.95),
+        "p50_latency_s": latencies.quantile(0.50),
+        "p95_latency_s": latencies.quantile(0.95),
         "fairness_max_over_min_rounds": fairness,
         "peak_node_memory_bytes": max(
             cluster.workload.meter.peak_by_node().values(), default=0),
@@ -144,3 +145,17 @@ def test_concurrency_ablation(tpch_data):
     write_report("ablation_concurrency.txt", "\n".join(lines))
     (RESULTS_DIR / "ablation_concurrency.json").write_text(json.dumps(
         {str(level): results[level] for level in LEVELS}, indent=2))
+    # machine-readable trajectory point (benchmarks/trajectory.py gates on
+    # these across PRs); sim-clock metrics only, so it is run-to-run stable
+    (RESULTS_DIR / "BENCH_concurrency.json").write_text(json.dumps({
+        "scale_factor": SCALE_FACTOR,
+        "workers": 4,
+        "levels": {
+            str(level): {
+                "makespan_s": results[level]["makespan_s"],
+                "throughput_qps": results[level]["throughput_qps"],
+                "p50_latency_s": results[level]["p50_latency_s"],
+                "p95_latency_s": results[level]["p95_latency_s"],
+            } for level in LEVELS},
+        "speedup_serial_over_4conc": speedup,
+    }, indent=2))

@@ -5,7 +5,7 @@ Usage::
     PYTHONPATH=src python benchmarks/smoke_obs.py [outdir]
 
 Loads a small TPC-H database (``REPRO_SF``, default 0.002), runs Q1 with
-``trace=True`` plus Q6, and writes four artifacts (CI uploads all):
+``trace=True`` plus Q6, and writes six artifacts (CI uploads all):
 
 * ``q1_trace.json``    -- Chrome-trace JSON, loadable in Perfetto /
   ``chrome://tracing``
@@ -14,6 +14,15 @@ Loads a small TPC-H database (``REPRO_SF``, default 0.002), runs Q1 with
 * ``q1_explain.txt``   -- EXPLAIN ANALYZE of the SQL Q1: the physical
   plan annotated with per-operator actuals
 * ``events.txt``       -- the cluster event log dumped via vh$events
+* ``alerts.txt``       -- vh$alerts rows plus per-rule evaluation counts
+  from the flight recorder's health monitor
+* ``metrics_history.json`` -- the sampled metric time series
+  (``vh$metrics_history``) as JSON; its latest-sample Prometheus
+  rendering is re-parsed with the same format check as metrics.prom
+
+It also writes ``BENCH_query_log.json`` under ``benchmarks/results/``
+(simulated-time aggregates of the persistent query log) so the
+trajectory gate tracks the smoke mix across PRs.
 
 The span tree is also printed so the smoke log shows the lifecycle
 (parse -> bind -> rewrite -> assignment -> execute -> commit) at a
@@ -22,6 +31,7 @@ glance, along with MinMax pruning effectiveness for the scans Q1/Q6 did.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 import re
@@ -68,7 +78,11 @@ def check_prometheus_exposition(text: str) -> int:
 
 def main(outdir: str) -> None:
     scale = float(os.environ.get("REPRO_SF", "0.002"))
-    cluster = VectorHCluster(n_nodes=4, config=Config().scaled_for_tests())
+    config = Config().scaled_for_tests()
+    # deterministic batch costs so the flight recorder's sampled history
+    # and the BENCH_query_log.json sim-time aggregates are reproducible
+    config.workload_deterministic = True
+    cluster = VectorHCluster(n_nodes=4, config=config)
     data = generate_tpch(scale, seed=42)
     schemas = tpch_schemas(n_partitions=6)
     for name in LOAD_ORDER:
@@ -103,6 +117,31 @@ def main(outdir: str) -> None:
         for i in range(events.n)
     ]
 
+    # flight recorder: force a final sample so every alert rule has
+    # evaluated at least once, then dump history/alerts/query-log views
+    monitor = cluster.monitor
+    monitor.sample()
+    assert monitor.health.evaluations() > 0, "no alert rule evaluated"
+    assert len(monitor.history.samples) >= 1, "metrics history is empty"
+    history_prom = monitor.history.render_latest()
+    history_samples = check_prometheus_exposition(history_prom)
+    alert_rows = execute_sql(
+        cluster, "select rule, state, value, threshold, raised_sim, "
+        "cleared_sim from vh$alerts")
+    alert_lines = [
+        f"{alert_rows.columns['rule'][i]} state={alert_rows.columns['state'][i]} "
+        f"value={float(alert_rows.columns['value'][i]):.4f} "
+        f"threshold={float(alert_rows.columns['threshold'][i]):.4f} "
+        f"raised={float(alert_rows.columns['raised_sim'][i]):.6f} "
+        f"cleared={float(alert_rows.columns['cleared_sim'][i]):.6f}"
+        for i in range(alert_rows.n)
+    ]
+    alert_lines.append(f"-- {alert_rows.n} alerts; per-rule evaluations:")
+    for rule in monitor.health.rules:
+        alert_lines.append(
+            f"   {rule.name}: {monitor.health.evaluations(rule.name)} "
+            f"evaluations on {rule.metric}")
+
     out = pathlib.Path(outdir)
     out.mkdir(parents=True, exist_ok=True)
     (out / "q1_trace.json").write_text(trace.chrome_trace_json(indent=1))
@@ -110,11 +149,31 @@ def main(outdir: str) -> None:
     (out / "metrics.prom").write_text(prom)
     (out / "q1_explain.txt").write_text(explain_text + "\n")
     (out / "events.txt").write_text("\n".join(event_lines) + "\n")
+    (out / "alerts.txt").write_text("\n".join(alert_lines) + "\n")
+    (out / "metrics_history.json").write_text(
+        json.dumps(monitor.history.export_json(), indent=1))
     samples = check_prometheus_exposition(prom)
     # the workload-manager series must be part of the exposition
     for metric in ("admission_queue_depth", "queries_running",
                    "query_wait_seconds"):
         assert metric in prom, f"workload metric missing: {metric}"
+
+    # trajectory point: simulated aggregates of the persistent query log
+    records = monitor.query_log.records()
+    finished = [r for r in records if r.state == "finished"]
+    assert finished, "query log recorded no finished queries"
+    results_dir = pathlib.Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "BENCH_query_log.json").write_text(json.dumps({
+        "scale_factor": scale,
+        "workers": 4,
+        "queries_logged": len(records),
+        "total_sim_s": sum(r.sim_s for r in finished),
+        "max_sim_s": max(r.sim_s for r in finished),
+        "total_wait_s": sum(r.wait_s for r in finished),
+        "max_qerror": max(r.max_qerror for r in finished),
+        "total_rows": sum(r.rows for r in finished),
+    }, indent=2))
 
     print("== SQL statement trace ==")
     print(sql_trace.tree())
@@ -134,9 +193,17 @@ def main(outdir: str) -> None:
         pct = 0.0 if total == 0 else 100.0 * cut / total
         print(f"  {key[0]}: scanned={int(read)} skipped={int(cut)} "
               f"({pct:.1f}% pruned)")
+    print("== flight recorder ==")
+    print(f"  history: {len(monitor.history.samples)} samples, "
+          f"{history_samples} series in latest exposition (format OK)")
+    print(f"  alerts: {alert_rows.n} raised, "
+          f"{monitor.health.evaluations()} rule evaluations")
+    print("== slow query report ==")
+    print(monitor.query_log.slow_report(5))
     print(f"\nmetrics.prom: {samples} samples, exposition OK "
           f"(incl. workload admission/running/wait series)")
-    print(f"wrote {out}/q1_trace.json metrics.prom q1_explain.txt events.txt")
+    print(f"wrote {out}/q1_trace.json metrics.prom q1_explain.txt events.txt "
+          f"alerts.txt metrics_history.json")
 
 
 if __name__ == "__main__":

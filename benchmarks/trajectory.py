@@ -1,0 +1,213 @@
+"""Perf-trajectory gate: merge BENCH_*.json points and fail on regression.
+
+Every benchmark that matters for the repo's performance story writes a
+machine-readable ``BENCH_<name>.json`` under ``benchmarks/results/``
+(adaptive, concurrency, chaos soak, query-log smoke, ...). This tool
+flattens the *numeric, simulated* leaves of each of those files into a
+``bench.dotted.path`` -> value map, appends the snapshot as one entry of
+``benchmarks/results/BENCH_trajectory.json``, and compares it against
+the previous entry:
+
+* only leaves whose key ends in ``_s``, ``_ms`` or ``_qps`` are gated —
+  they are the time/throughput numbers; counters and sizes are carried
+  along for the record but never fail the gate;
+* keys mentioning ``wall`` are exempt (host wall-clock is noisy; the
+  simulated clock is the contract);
+* lower is better, except ``_qps`` where higher is better;
+* the tolerance is ``REPRO_TRAJ_TOL`` (default 0.25, i.e. a metric may
+  drift 25% before the gate trips) with a 1e-6 absolute slack so
+  zero-valued metrics never trip on noise;
+* a bench whose context (``scale_factor``/``workers``/``seeds``)
+  changed since the previous entry is recorded but not gated — the
+  numbers are not comparable;
+* ``REPRO_TRAJ_CHECK=0`` records the entry without enforcing (useful
+  while intentionally changing the cost model).
+
+Run from the repo root after the benches::
+
+    PYTHONPATH=src python benchmarks/trajectory.py
+
+Exits 1 (after writing the updated trajectory) if any gated metric
+regressed beyond tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+TRAJECTORY = "BENCH_trajectory.json"
+MAX_ENTRIES = 50
+
+#: leaf-key suffixes that participate in the regression gate
+GATED_SUFFIXES = ("_s", "_ms", "_qps")
+#: keys whose values describe the run, not its performance: a change
+#: in any of these makes two entries incomparable for that bench
+CONTEXT_KEYS = ("scale_factor", "workers", "seeds", "runs_per_query")
+
+
+def flatten(obj: Any, prefix: str = "") -> Dict[str, float]:
+    """Numeric scalar leaves of a nested dict as ``a.b.c`` -> value.
+
+    Lists are skipped entirely: they hold per-run detail (round counts,
+    replan traces) whose length may legitimately change between PRs.
+    """
+    out: Dict[str, float] = {}
+    if isinstance(obj, dict):
+        for key, value in sorted(obj.items()):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten(value, path))
+    elif isinstance(obj, bool):
+        pass
+    elif isinstance(obj, (int, float)):
+        out[prefix] = float(obj)
+    return out
+
+
+def is_gated(key: str) -> bool:
+    """True when a flattened key participates in the regression check."""
+    leaf = key.rsplit(".", 1)[-1]
+    if "wall" in leaf:
+        return False
+    return leaf.endswith(GATED_SUFFIXES)
+
+
+def collect(results_dir: pathlib.Path = RESULTS_DIR) -> Dict[str, dict]:
+    """Load every BENCH_*.json point file into {bench: {context, metrics}}."""
+    benches: Dict[str, dict] = {}
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        if path.name == TRAJECTORY:
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:  # unreadable point: skip loudly
+            print(f"trajectory: skipping {path.name}: {exc}", file=sys.stderr)
+            continue
+        name = path.stem[len("BENCH_"):]
+        metrics = flatten(payload)
+        context = {k: metrics.pop(k) for k in CONTEXT_KEYS if k in metrics}
+        benches[name] = {"context": context, "metrics": metrics}
+    return benches
+
+
+def compare(new: Dict[str, dict], old: Dict[str, dict],
+            tolerance: float) -> Tuple[List[dict], List[str]]:
+    """Gate ``new`` against ``old``; returns (regressions, skipped)."""
+    regressions: List[dict] = []
+    skipped: List[str] = []
+    for bench, entry in sorted(new.items()):
+        prev = old.get(bench)
+        if prev is None:
+            skipped.append(f"{bench}: new bench, nothing to compare")
+            continue
+        if entry["context"] != prev.get("context"):
+            skipped.append(f"{bench}: context changed "
+                           f"{prev.get('context')} -> {entry['context']}")
+            continue
+        for key, value in sorted(entry["metrics"].items()):
+            if not is_gated(key):
+                continue
+            before = prev["metrics"].get(key)
+            if before is None:
+                continue
+            if key.rsplit(".", 1)[-1].endswith("_qps"):
+                floor = before * (1.0 - tolerance) - 1e-6
+                if value < floor:
+                    regressions.append({
+                        "bench": bench, "metric": key, "before": before,
+                        "after": value, "limit": floor,
+                        "direction": "higher-is-better"})
+            else:
+                limit = before * (1.0 + tolerance) + 1e-6
+                if value > limit:
+                    regressions.append({
+                        "bench": bench, "metric": key, "before": before,
+                        "after": value, "limit": limit,
+                        "direction": "lower-is-better"})
+    return regressions, skipped
+
+
+def _git_sha() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=pathlib.Path(__file__).parent)
+        return out.stdout.strip() or None
+    except OSError:
+        return None
+
+
+def update_trajectory(results_dir: pathlib.Path = RESULTS_DIR,
+                      tolerance: Optional[float] = None,
+                      check: Optional[bool] = None,
+                      now: Optional[float] = None) -> int:
+    """Append today's snapshot, gate against the previous one, write back.
+
+    Returns the process exit code (0 ok / 1 regression while checking).
+    """
+    if tolerance is None:
+        tolerance = float(os.environ.get("REPRO_TRAJ_TOL", "0.25"))
+    if check is None:
+        check = os.environ.get("REPRO_TRAJ_CHECK", "1") != "0"
+
+    benches = collect(results_dir)
+    if not benches:
+        print("trajectory: no BENCH_*.json points found; run the "
+              "benchmarks first", file=sys.stderr)
+        return 1
+
+    traj_path = results_dir / TRAJECTORY
+    entries: List[dict] = []
+    if traj_path.exists():
+        try:
+            entries = json.loads(traj_path.read_text()).get("entries", [])
+        except ValueError:
+            print(f"trajectory: {TRAJECTORY} unreadable, starting fresh",
+                  file=sys.stderr)
+
+    previous = entries[-1]["benches"] if entries else {}
+    regressions, skipped = compare(benches, previous, tolerance)
+
+    entry = {
+        "recorded_at": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ",
+            time.gmtime(time.time() if now is None else now)),
+        "git": _git_sha(),
+        "tolerance": tolerance,
+        "benches": benches,
+        "regressions": regressions,
+    }
+    entries = (entries + [entry])[-MAX_ENTRIES:]
+    traj_path.write_text(json.dumps({"entries": entries}, indent=2))
+
+    gated = sum(1 for b in benches.values()
+                for k in b["metrics"] if is_gated(k))
+    print(f"trajectory: {len(benches)} benches, {gated} gated metrics, "
+          f"tolerance {tolerance:.0%}, {len(entries)} entries recorded")
+    for note in skipped:
+        print(f"  (skip) {note}")
+    for reg in regressions:
+        print(f"  REGRESSION {reg['bench']}.{reg['metric']}: "
+              f"{reg['before']:.6g} -> {reg['after']:.6g} "
+              f"(limit {reg['limit']:.6g}, {reg['direction']})")
+    if regressions and check:
+        print("trajectory: FAIL (set REPRO_TRAJ_CHECK=0 to record without "
+              "enforcing)", file=sys.stderr)
+        return 1
+    if regressions:
+        print("trajectory: regressions recorded but not enforced "
+              "(REPRO_TRAJ_CHECK=0)")
+    else:
+        print("trajectory: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(update_trajectory())

@@ -70,7 +70,10 @@ class VectorHCluster:
         self.registry = MetricsRegistry()
         self.sim_clock = SimClock()
         self.tracer = Tracer(sim_clock=self.sim_clock)
-        self.events = ClusterEventLog(sim_clock=self.sim_clock)
+        self.events = ClusterEventLog(
+            sim_clock=self.sim_clock,
+            retention=self.config.event_log_retention,
+            registry=self.registry)
         #: observed-cardinality memory consulted by every ParallelRewriter
         self.feedback = (
             CardinalityFeedbackStore(registry=self.registry,
@@ -115,6 +118,14 @@ class VectorHCluster:
         # the automatic footprint follows real load, not a guessed count
         self.dbagent.workload_probe = self.workload.load
         self.dbagent.events = self.events
+        #: the flight recorder: metric history + alert engine + query log,
+        #: sampling from the workload manager's round hook (before any
+        #: chaos controller installed later, so samples precede faults)
+        self.monitor = None
+        if self.config.monitor_enabled:
+            from repro.obs.monitor import FlightRecorder
+            self.monitor = FlightRecorder(self)
+            self.workload.round_hooks.append(self.monitor.tick)
         #: installed ChaosController when fault injection is active
         self.chaos = None
 

@@ -56,6 +56,32 @@ class Config:
     #: per-query cap on mid-query re-plans
     replan_max_per_query: int = 2
 
+    # --- flight recorder (repro.obs.monitor) --------------------------------
+    #: create a FlightRecorder on the cluster (sampler + alert engine +
+    #: query log), ticking from the workload manager's round hooks
+    monitor_enabled: bool = True
+    #: simulated seconds between metric-history samples (0 = every round)
+    monitor_cadence_s: float = 1e-4
+    #: retained samples before ring compaction halves the resolution
+    monitor_retention: int = 256
+    #: overflow downsampling: "auto" (counters last, gauges max) or a
+    #: forced "last" / "max" / "sum"
+    monitor_downsample: str = "auto"
+    #: cluster event log retention (0 = keep everything, as tests expect)
+    event_log_retention: int = 0
+    #: query-log records kept (0 = keep everything)
+    query_log_retention: int = 0
+    #: admission_queue_depth >= this raises the admission_backlog alert...
+    alert_queue_depth: float = 1.0
+    #: ...once sustained this many simulated seconds (0 = immediately)
+    alert_queue_window_s: float = 0.0
+    #: query_wait_seconds p95 above this raises query_wait_p95
+    alert_wait_p95_s: float = 0.25
+    #: fraction of workload_memory_budget_mb that raises memory_watermark
+    alert_memory_fraction: float = 0.9
+    #: replans_total per sim-second that raises replan_storm (0 = off)
+    alert_replan_rate: float = 0.0
+
     # --- chaos (fault injection) --------------------------------------------
     #: seed for the chaos controller's private RNG; the same seed yields a
     #: bit-identical fault schedule, event log and invariant report

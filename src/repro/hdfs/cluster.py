@@ -29,7 +29,9 @@ def _series_property(family_attr: str, **fixed_labels):
 
     def setter(self, value):
         family = getattr(self, family_attr)
-        family.set(value, node=self.name, **fixed_labels)
+        # counters expose _assign for these legacy views; gauges use set
+        assign = getattr(family, "_assign", family.set)
+        assign(value, node=self.name, **fixed_labels)
 
     return property(getter, setter)
 

@@ -23,6 +23,18 @@ from repro.obs.metrics import (
     Histogram,
     MetricFamily,
     MetricsRegistry,
+    quantile_from_buckets,
+)
+from repro.obs.monitor import (
+    Alert,
+    AlertRule,
+    FlightRecorder,
+    HealthMonitor,
+    MetricsHistory,
+    QueryLog,
+    QueryLogRecord,
+    default_rules,
+    sql_fingerprint,
 )
 from repro.obs.trace import (
     NULL_TRACER,
@@ -33,16 +45,26 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "Alert",
+    "AlertRule",
     "ClusterEventLog",
     "Counter",
     "Event",
+    "FlightRecorder",
     "Gauge",
+    "HealthMonitor",
     "Histogram",
     "MetricFamily",
+    "MetricsHistory",
     "MetricsRegistry",
     "NULL_TRACER",
+    "QueryLog",
+    "QueryLogRecord",
     "SimClock",
     "Span",
     "Tracer",
+    "default_rules",
+    "quantile_from_buckets",
     "span_from_profile",
+    "sql_fingerprint",
 ]

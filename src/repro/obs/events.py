@@ -6,15 +6,20 @@ re-replication and rebalancing, YARN preemptions, 2PC outcomes, schema
 changes, worker-set growth and shrinkage. Each event carries the
 simulated clock (so it interleaves causally with query spans on the
 cluster-equivalent timeline) plus wall time, a coarse ``source``
-(hdfs/yarn/txn/cluster) and a ``kind`` with free-form attributes. The
-log is append-only; ``vh$events`` exposes it through SQL.
+(hdfs/yarn/txn/cluster/monitor) and a ``kind`` with free-form
+attributes. The log is append-only; ``vh$events`` exposes it through
+SQL. A ``retention`` cap (default: keep everything) bounds memory for
+soak runs -- on overflow the oldest events fall off the front, the
+``dropped`` count (and the optional ``events_dropped_total`` counter)
+records how many, and ``seq`` stays monotonic so gaps are visible.
 """
 
 from __future__ import annotations
 
 import time as _time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Deque, Dict, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -37,21 +42,35 @@ class Event:
 class ClusterEventLog:
     """Append-only event sink shared by every subsystem of one cluster."""
 
-    def __init__(self, sim_clock=None):
+    def __init__(self, sim_clock=None, retention: int = 0, registry=None):
         self._sim_clock = sim_clock
-        self._events: List[Event] = []
+        self.retention = int(retention)  # 0 = keep everything
+        self._events: Deque[Event] = deque()
+        self._seq = 0
+        self.dropped = 0
+        self._dropped_counter = None
+        if registry is not None:
+            self._dropped_counter = registry.counter(
+                "events_dropped_total",
+                "Cluster events evicted by the event-log retention cap")
 
     def emit(self, source: str, kind: str, **attrs) -> Event:
         sim = self._sim_clock.seconds if self._sim_clock is not None else 0.0
         event = Event(
-            seq=len(self._events),
+            seq=self._seq,
             sim_time=sim,
             wall_time=_time.time(),
             source=source,
             kind=kind,
             attrs=dict(attrs),
         )
+        self._seq += 1
         self._events.append(event)
+        if self.retention and len(self._events) > self.retention:
+            self._events.popleft()
+            self.dropped += 1
+            if self._dropped_counter is not None:
+                self._dropped_counter.inc()
         return event
 
     # -- queries ---------------------------------------------------------------
@@ -66,7 +85,7 @@ class ClusterEventLog:
         return list(self._events)
 
     def tail(self, n: int = 20) -> List[Event]:
-        return self._events[-n:]
+        return list(self._events)[-n:]
 
     def of_kind(self, kind: str) -> List[Event]:
         return [e for e in self._events if e.kind == kind]

@@ -2,13 +2,14 @@
 
 The cluster describes itself through its own SQL engine:
 
-* **System tables** -- :class:`SystemCatalog` registers ten virtual
+* **System tables** -- :class:`SystemCatalog` registers thirteen virtual
   ``vh$`` tables (:data:`SYSTEM_TABLES`) whose partitions are live
   snapshots of the metrics registry, the HDFS block map, per-column
   compression statistics, PDT overlay sizes, the cluster event log, the
   workload manager's query/session records (including queued, running
-  and cancelled queries), the chaos controller's fault plan and the
-  cardinality feedback store. A :class:`VirtualTable` quacks like a
+  and cancelled queries), the chaos controller's fault plan, the
+  cardinality feedback store, and the flight recorder's sampled metric
+  history, alert ledger and persistent query log. A :class:`VirtualTable` quacks like a
   :class:`~repro.storage.table.StoredTable` (schema, replication,
   ``scan_partition``), so the binder, rewriter and streaming executor
   treat them exactly like replicated base tables -- a ``SELECT`` against
@@ -264,6 +265,33 @@ def _sessions_rows(cluster) -> List[tuple]:
     ]
 
 
+def _metrics_history_rows(cluster) -> List[tuple]:
+    """The flight recorder's sampled time series (one row per series
+    value per retained sample)."""
+    monitor = getattr(cluster, "monitor", None)
+    if monitor is None:
+        return []
+    return monitor.history.rows()
+
+
+def _alerts_rows(cluster) -> List[tuple]:
+    """Every alert the health monitor ever raised (``cleared_sim`` is
+    -1 while still firing)."""
+    monitor = getattr(cluster, "monitor", None)
+    if monitor is None:
+        return []
+    return monitor.health.rows()
+
+
+def _query_log_rows(cluster) -> List[tuple]:
+    """The persistent per-query flight record; unlike ``vh$queries``
+    this holds only terminal queries and richer execution facts."""
+    monitor = getattr(cluster, "monitor", None)
+    if monitor is None:
+        return []
+    return monitor.query_log.rows()
+
+
 def _plan_feedback_rows(cluster) -> List[tuple]:
     """The cardinality feedback store: what the rewriter remembers."""
     store = getattr(cluster, "feedback", None)
@@ -328,6 +356,23 @@ SYSTEM_TABLES = (
      [("signature", STRING), ("estimated", FLOAT64),
       ("observed", FLOAT64), ("hits", INT64), ("updated", FLOAT64)],
      _plan_feedback_rows),
+    ("vh$metrics_history",
+     [("sample", INT64), ("sim_time", FLOAT64), ("metric", STRING),
+      ("labels", STRING), ("value", FLOAT64)],
+     _metrics_history_rows),
+    ("vh$alerts",
+     [("seq", INT64), ("rule", STRING), ("metric", STRING),
+      ("state", STRING), ("value", FLOAT64), ("threshold", FLOAT64),
+      ("raised_sim", FLOAT64), ("cleared_sim", FLOAT64),
+      ("peak", FLOAT64)],
+     _alerts_rows),
+    ("vh$query_log",
+     [("query", INT64), ("session", INT64), ("state", STRING),
+      ("fingerprint", STRING), ("plan", STRING), ("statement", STRING),
+      ("wall_ms", FLOAT64), ("sim_ms", FLOAT64), ("wait_ms", FLOAT64),
+      ("rows", INT64), ("peak_memory", INT64), ("wire_bytes", INT64),
+      ("retries", INT64), ("replans", INT64), ("max_qerror", FLOAT64)],
+     _query_log_rows),
 )
 
 

@@ -18,6 +18,7 @@ working while the registry is the single source of truth.
 from __future__ import annotations
 
 import bisect
+import warnings
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.errors import ReproError
@@ -36,6 +37,41 @@ def _format_value(v: float) -> str:
     if float(v).is_integer():
         return str(int(v))
     return repr(float(v))
+
+
+def _escape_label_value(v: str) -> str:
+    """Prometheus label-value escaping: backslash, double-quote, newline."""
+    return v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape backslash and newline (quotes stay literal)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def quantile_from_buckets(bounds: Sequence[float], counts: Sequence[int],
+                          total: float, q: float) -> float:
+    """Interpolated q-quantile from per-bucket (non-cumulative) counts.
+
+    Prometheus ``histogram_quantile`` semantics: linear interpolation
+    inside the bucket holding the target rank, observations above the
+    highest finite bound collapse to that bound. ``counts[i]`` holds the
+    observations with ``bounds[i-1] < value <= bounds[i]``.
+    """
+    if total <= 0 or not bounds:
+        return 0.0
+    rank = min(max(q, 0.0), 1.0) * total
+    cum = 0.0
+    for i, n in enumerate(counts):
+        if n <= 0:
+            continue
+        cum += n
+        if cum >= rank:
+            lower = bounds[i - 1] if i > 0 else 0.0
+            frac = (rank - (cum - n)) / n
+            return lower + (bounds[i] - lower) * frac
+    # the rank fell in the +Inf bucket: the best bound we can report
+    return float(bounds[-1])
 
 
 class MetricFamily:
@@ -68,7 +104,8 @@ class MetricFamily:
         pairs.extend(extra)
         if not pairs:
             return ""
-        body = ",".join(f'{n}="{v}"' for n, v in pairs)
+        body = ",".join(
+            f'{n}="{_escape_label_value(str(v))}"' for n, v in pairs)
         return "{" + body + "}"
 
     # -- interface every family implements -----------------------------------
@@ -105,7 +142,17 @@ class Counter(MetricFamily):
         return self._series.get(self._key(labels), 0)
 
     def set(self, value: float, **labels) -> None:
-        """Compatibility hook for legacy attribute-style assignment
+        """Deprecated: counters are monotonic. Use :meth:`inc` (or
+        :meth:`clear`/``registry.reset`` to zero); legacy attribute-style
+        views assign through :meth:`_assign`."""
+        warnings.warn(
+            f"Counter.set ({self.name}) is deprecated: counters are "
+            "monotonic -- use inc(), or clear()/reset() to zero",
+            DeprecationWarning, stacklevel=2)
+        self._assign(value, **labels)
+
+    def _assign(self, value: float, **labels) -> None:
+        """Non-monotonic assignment for the legacy attribute views
         (``pool.hits = 0``); not part of the Prometheus counter model."""
         self._series[self._key(labels)] = value
 
@@ -225,6 +272,27 @@ class Histogram(MetricFamily):
             out[le] = cum
         return {"count": state.count, "sum": state.sum, "buckets": out}
 
+    def quantile(self, q: float, **labels) -> float:
+        """Interpolated ``q``-quantile (0..1) from the bucket counts.
+
+        With labels, reads that one series; called bare on a labelled
+        family it aggregates the buckets of every series. Returns 0.0
+        for an empty histogram.
+        """
+        if labels or not self.label_names:
+            state = self._series.get(self._key(labels))
+            if state is None or state.count == 0:
+                return 0.0
+            return quantile_from_buckets(
+                self.buckets, state.bucket_counts, state.count, q)
+        counts = [0] * len(self.buckets)
+        total = 0
+        for state in self._series.values():
+            total += state.count
+            for i, n in enumerate(state.bucket_counts):
+                counts[i] += n
+        return quantile_from_buckets(self.buckets, counts, total, q)
+
     def clear(self) -> None:
         self._series.clear()
 
@@ -334,7 +402,8 @@ class MetricsRegistry:
             if not any(family.name.startswith(p) for p in prefixes):
                 continue
             if family.help:
-                lines.append(f"# HELP {family.name} {family.help}")
+                lines.append(
+                    f"# HELP {family.name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {family.name} {family.kind}")
             lines.extend(family.render())
         return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,865 @@
+"""The flight recorder: metric time-series, alert rules, query log.
+
+Point-in-time snapshots (``vh$metrics``, a Prometheus scrape) show *now*;
+long-running clusters degrade *over time* -- sustained admission
+pressure, PDT memory growth, chaos-induced degradation. This module adds
+the time dimension with three cooperating pieces, all driven from the
+workload manager's round hook on the shared :class:`~repro.obs.SimClock`
+(so everything here is deterministic whenever the workload is):
+
+* :class:`MetricsHistory` -- samples **every** registry series into a
+  bounded ring of whole-registry samples (configurable cadence and
+  retention). On overflow the ring *compacts* instead of dropping: pairs
+  of adjacent samples merge under a downsampling rule (``last`` for
+  counters, ``max`` for gauges by default; ``sum`` available) and the
+  effective cadence doubles -- old history gets coarser, never lost.
+  Queryable as ``vh$metrics_history``; exportable as JSON.
+
+* :class:`HealthMonitor` -- declarative :class:`AlertRule`\\ s
+  (threshold-over-window on gauges, counter *rates*, histogram
+  *quantiles*) evaluated at every sample on the sim clock. Alerts raise
+  after a breach is sustained ``for_seconds`` and clear after recovery,
+  emitting ``alert.raised`` / ``alert.cleared`` cluster events; the full
+  raise/clear sequence is visible in ``vh$alerts`` and is bit-identical
+  across same-seed runs.
+
+* :class:`QueryLog` -- every terminal managed query (finished, failed,
+  cancelled) appends one :class:`QueryLogRecord` with its SQL
+  fingerprint, plan-fragment signature, both clocks, rows, peak memory,
+  wire bytes, retries, replans, max q-error and admission wait. The log
+  is *not* registry-backed, so it survives ``metrics().reset()``; it
+  powers the slow-query report and ``benchmarks/trajectory.py``.
+
+:class:`FlightRecorder` is the facade a
+:class:`~repro.cluster.VectorHCluster` owns: it publishes a few derived
+gauges (per-node live workload memory, alive datanodes, minimum
+replication degree) right before each sample so rules can watch them.
+
+Import note: like ``repro.obs.events`` this module must stay free of
+storage/mpp imports (``collect_actuals`` is imported lazily), so
+``repro.obs`` can export it eagerly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ReproError
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    _escape_label_value,
+    _format_value,
+    quantile_from_buckets,
+)
+
+#: one recorded series value: (family name, ((label, value), ...))
+SeriesKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+# ---------------------------------------------------------------------------
+# MetricsHistory: the bounded flight-recorder ring
+# ---------------------------------------------------------------------------
+
+@dataclass
+class HistorySample:
+    """One whole-registry sample at one simulated instant."""
+
+    seq: int
+    sim_time: float
+    values: Dict[SeriesKey, float]
+
+    def value(self, name: str, agg: str = "sum") -> Optional[float]:
+        """Aggregate every series of family ``name`` in this sample."""
+        got = [v for (n, _), v in self.values.items() if n == name]
+        if not got:
+            return None
+        if agg == "sum":
+            return sum(got)
+        if agg == "max":
+            return max(got)
+        if agg == "min":
+            return min(got)
+        if agg == "avg":
+            return sum(got) / len(got)
+        raise ReproError(f"unknown aggregation {agg!r}")
+
+
+def _labels_text(pairs: Tuple[Tuple[str, str], ...]) -> str:
+    return ",".join(f"{k}={v}" for k, v in pairs)
+
+
+#: registry families measured on the *wall* clock, not the simulated
+#: one: their values vary run-to-run even under workload_deterministic,
+#: so the history skips them to keep same-seed samples bit-identical
+WALL_CLOCK_FAMILIES = frozenset({"executor_stream_seconds"})
+
+
+class MetricsHistory:
+    """Ring buffer of whole-registry samples with downsampling overflow.
+
+    ``cadence`` is the simulated-seconds spacing between samples
+    (``0`` = sample every workload round). ``retention`` bounds the
+    sample count: on overflow, adjacent sample pairs merge under the
+    ``downsample`` rule and the effective cadence doubles, so memory is
+    bounded while the full time range stays covered at decaying
+    resolution. ``downsample`` is ``auto`` (counters/histogram totals
+    keep the *last* value of a merged pair, gauges keep the *max* --
+    watermarks survive), or a forced ``last`` / ``max`` / ``sum``.
+    ``exclude`` names families left out of every sample (defaults to the
+    wall-clock-measured ones, which would break same-seed bit-identity).
+    """
+
+    MODES = ("auto", "last", "max", "sum")
+
+    def __init__(self, registry: MetricsRegistry, sim_clock,
+                 cadence: float = 1e-4, retention: int = 256,
+                 downsample: str = "auto",
+                 exclude: frozenset = WALL_CLOCK_FAMILIES):
+        if downsample not in self.MODES:
+            raise ReproError(
+                f"downsample must be one of {self.MODES}, got {downsample!r}")
+        self.registry = registry
+        self.sim_clock = sim_clock
+        self.cadence = float(cadence)
+        self.retention = max(4, int(retention))
+        self.downsample = downsample
+        self.exclude = frozenset(exclude)
+        #: current sample spacing; doubles on every compaction
+        self.interval = self.cadence
+        self._every = 1  # round stride when cadence == 0
+        self._rounds_since = 0
+        self.samples: List[HistorySample] = []
+        self.compactions = 0
+        self._seq = itertools.count()
+        self._kinds: Dict[str, str] = {}
+
+    # -- sampling ------------------------------------------------------------
+
+    def due(self) -> bool:
+        if not self.samples:
+            return True
+        if self.cadence > 0:
+            last = self.samples[-1].sim_time
+            return self.sim_clock.seconds - last >= self.interval - 1e-12
+        return self._rounds_since >= self._every
+
+    def note_round(self) -> None:
+        self._rounds_since += 1
+
+    def sample(self) -> HistorySample:
+        """Record one sample of every registry series, now."""
+        values: Dict[SeriesKey, float] = {}
+        for family in self.registry.families():
+            if family.name in self.exclude:
+                continue
+            names = tuple(family.label_names)
+            if family.kind == "histogram":
+                self._kinds[family.name + "_count"] = "counter"
+                self._kinds[family.name + "_sum"] = "counter"
+                for key, data in family.snapshot().items():
+                    pairs = tuple(zip(names, key))
+                    values[(family.name + "_count", pairs)] = \
+                        float(data["count"])
+                    values[(family.name + "_sum", pairs)] = float(data["sum"])
+            else:
+                self._kinds[family.name] = family.kind
+                for key, value in family.snapshot().items():
+                    values[(family.name, tuple(zip(names, key)))] = \
+                        float(value)
+        sample = HistorySample(next(self._seq), self.sim_clock.seconds,
+                               values)
+        self.samples.append(sample)
+        self._rounds_since = 0
+        if len(self.samples) > self.retention:
+            self._compact()
+        return sample
+
+    def _agg_mode(self, name: str) -> str:
+        if self.downsample != "auto":
+            return self.downsample
+        return "last" if self._kinds.get(name) == "counter" else "max"
+
+    def _compact(self) -> None:
+        """Merge adjacent sample pairs; effective cadence doubles."""
+        merged: List[HistorySample] = []
+        samples = self.samples
+        i = 0
+        while i < len(samples):
+            if i + 1 == len(samples):
+                merged.append(samples[i])
+                break
+            a, b = samples[i], samples[i + 1]
+            values = dict(a.values)
+            for key, vb in b.values.items():
+                va = values.get(key)
+                if va is None:
+                    values[key] = vb
+                    continue
+                mode = self._agg_mode(key[0])
+                if mode == "last":
+                    values[key] = vb
+                elif mode == "max":
+                    values[key] = max(va, vb)
+                else:  # sum
+                    values[key] = va + vb
+            merged.append(HistorySample(b.seq, b.sim_time, values))
+            i += 2
+        self.samples = merged
+        self.interval *= 2
+        self._every *= 2
+        self.compactions += 1
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def series(self, name: str,
+               labels: Optional[Dict[str, object]] = None,
+               agg: str = "sum") -> List[Tuple[float, float]]:
+        """One family's time series: ``[(sim_time, value), ...]``.
+
+        With ``labels`` only the exactly-matching series contributes;
+        otherwise every series of the family is aggregated per sample.
+        """
+        out: List[Tuple[float, float]] = []
+        want = (tuple(sorted((k, str(v)) for k, v in labels.items()))
+                if labels is not None else None)
+        for sample in self.samples:
+            if want is None:
+                value = sample.value(name, agg=agg)
+                if value is not None:
+                    out.append((sample.sim_time, value))
+                continue
+            for (n, pairs), v in sample.values.items():
+                if n == name and tuple(sorted(pairs)) == want:
+                    out.append((sample.sim_time, v))
+                    break
+        return out
+
+    def rows(self) -> List[tuple]:
+        """``vh$metrics_history`` rows: (sample, sim_time, metric, labels,
+        value), sorted within each sample for determinism."""
+        out = []
+        for sample in self.samples:
+            for (name, pairs), value in sorted(sample.values.items()):
+                out.append((sample.seq, sample.sim_time, name,
+                            _labels_text(pairs), float(value)))
+        return out
+
+    # -- exports -------------------------------------------------------------
+
+    def render_latest(self) -> str:
+        """Prometheus-style exposition of the newest sample."""
+        if not self.samples:
+            return ""
+        sample = self.samples[-1]
+        lines = [f"# metrics_history sample={sample.seq} "
+                 f"sim_time={sample.sim_time!r}"]
+        for (name, pairs), value in sorted(sample.values.items()):
+            body = ",".join(f'{k}="{_escape_label_value(str(v))}"'
+                            for k, v in pairs)
+            labels = "{" + body + "}" if body else ""
+            lines.append(f"{name}{labels} {_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+    def export_json(self) -> dict:
+        return {
+            "cadence_s": self.cadence,
+            "interval_s": self.interval,
+            "retention": self.retention,
+            "compactions": self.compactions,
+            "samples": [
+                {
+                    "seq": s.seq,
+                    "sim_time": s.sim_time,
+                    "values": {
+                        (f"{name}{{{_labels_text(pairs)}}}" if pairs
+                         else name): value
+                        for (name, pairs), value in sorted(s.values.items())
+                    },
+                }
+                for s in self.samples
+            ],
+        }
+
+
+# ---------------------------------------------------------------------------
+# HealthMonitor: declarative threshold-over-window alert rules
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative health rule, evaluated at every history sample.
+
+    ``kind`` selects how the watched value is computed:
+
+    * ``gauge`` -- the metric's current sampled value, ``agg``\\ regated
+      across its label series (``max``/``min``/``sum``/``avg``);
+    * ``rate`` -- the counter's increase per simulated second over the
+      trailing ``window_s`` (0 = since the first sample);
+    * ``quantile`` -- the ``q``-quantile of a histogram, interpolated
+      from bucket counts over the trailing ``window_s`` (0 = ever).
+
+    The alert raises once ``value <op> threshold`` has held for
+    ``for_seconds`` of simulated time, and clears once the breach has
+    been gone for ``clear_for_seconds`` (both default 0: act on the
+    first sample that crosses).
+    """
+
+    name: str
+    metric: str
+    threshold: float
+    op: str = ">"
+    kind: str = "gauge"
+    agg: str = "max"
+    q: float = 0.95
+    window_s: float = 0.0
+    for_seconds: float = 0.0
+    clear_for_seconds: float = 0.0
+    help: str = ""
+
+    def breached(self, value: float) -> bool:
+        if self.op == ">":
+            return value > self.threshold
+        if self.op == ">=":
+            return value >= self.threshold
+        if self.op == "<":
+            return value < self.threshold
+        if self.op == "<=":
+            return value <= self.threshold
+        raise ReproError(f"unknown alert operator {self.op!r}")
+
+
+@dataclass
+class Alert:
+    """One alert instance: raised once, possibly cleared later."""
+
+    seq: int
+    rule: str
+    metric: str
+    value: float  # watched value at raise time
+    threshold: float
+    raised_sim: float
+    cleared_sim: Optional[float] = None
+    peak: float = 0.0
+
+    @property
+    def state(self) -> str:
+        return "cleared" if self.cleared_sim is not None else "firing"
+
+    def key(self) -> tuple:
+        """Wall-time-free identity for determinism comparisons."""
+        return (self.rule, self.metric, round(self.raised_sim, 9),
+                None if self.cleared_sim is None
+                else round(self.cleared_sim, 9),
+                round(self.value, 9), round(self.peak, 9))
+
+
+class _RuleState:
+    __slots__ = ("rule", "breach_since", "ok_since", "active", "evaluations")
+
+    def __init__(self, rule: AlertRule):
+        self.rule = rule
+        self.breach_since: Optional[float] = None
+        self.ok_since: Optional[float] = None
+        self.active: Optional[Alert] = None
+        self.evaluations = 0
+
+
+class HealthMonitor:
+    """Evaluates alert rules on sampled series; owns the alert history."""
+
+    def __init__(self, cluster, rules: Sequence[AlertRule]):
+        self.cluster = cluster
+        self.rules: List[AlertRule] = list(rules)
+        self._states: Dict[str, _RuleState] = {
+            r.name: _RuleState(r) for r in self.rules}
+        self.alerts: List[Alert] = []
+        self._seq = itertools.count()
+        #: per-quantile-rule window of (sim_time, bucket counts, count)
+        self._hist_windows: Dict[str, List[tuple]] = {}
+        registry = cluster.registry
+        self._raised = registry.counter(
+            "alerts_raised_total", "Alerts raised, by rule",
+            labels=("rule",))
+        self._cleared = registry.counter(
+            "alerts_cleared_total", "Alerts cleared, by rule",
+            labels=("rule",))
+        self._firing = registry.gauge(
+            "alerts_firing", "Alerts currently firing", sticky=True)
+        self._firing.set(0)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def add_rule(self, rule: AlertRule) -> None:
+        if rule.name in self._states:
+            raise ReproError(f"alert rule {rule.name} already registered")
+        self.rules.append(rule)
+        self._states[rule.name] = _RuleState(rule)
+
+    def state(self, name: str) -> _RuleState:
+        return self._states[name]
+
+    def evaluations(self, name: Optional[str] = None) -> int:
+        if name is not None:
+            return self._states[name].evaluations
+        return sum(s.evaluations for s in self._states.values())
+
+    def firing(self) -> List[Alert]:
+        return [a for a in self.alerts if a.cleared_sim is None]
+
+    def sequence(self) -> List[tuple]:
+        """Deterministic raise/clear history (for same-seed comparisons)."""
+        return [a.key() for a in self.alerts]
+
+    def rows(self) -> List[tuple]:
+        """``vh$alerts`` rows (``cleared_sim`` is -1 while firing)."""
+        return [
+            (a.seq, a.rule, a.metric, a.state, float(a.value),
+             float(a.threshold), a.raised_sim,
+             -1.0 if a.cleared_sim is None else a.cleared_sim,
+             float(a.peak))
+            for a in self.alerts
+        ]
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, history: MetricsHistory,
+                 sample: HistorySample) -> None:
+        """Run every rule against the new sample (on the sim clock)."""
+        now = sample.sim_time
+        for rule in self.rules:
+            value = self._value(rule, history, sample, now)
+            if value is None:
+                continue
+            state = self._states[rule.name]
+            state.evaluations += 1
+            if rule.breached(value):
+                state.ok_since = None
+                if state.breach_since is None:
+                    state.breach_since = now
+                if state.active is not None:
+                    state.active.peak = max(state.active.peak, value)
+                elif now - state.breach_since >= rule.for_seconds:
+                    self._raise(state, value, now)
+            else:
+                state.breach_since = None
+                if state.active is None:
+                    state.ok_since = None
+                    continue
+                if state.ok_since is None:
+                    state.ok_since = now
+                if now - state.ok_since >= rule.clear_for_seconds:
+                    self._clear(state, now)
+
+    def _value(self, rule: AlertRule, history: MetricsHistory,
+               sample: HistorySample, now: float) -> Optional[float]:
+        if rule.kind == "gauge":
+            return sample.value(rule.metric, agg=rule.agg)
+        if rule.kind == "rate":
+            return self._rate(rule, history, sample, now)
+        if rule.kind == "quantile":
+            return self._quantile(rule, now)
+        raise ReproError(f"unknown alert rule kind {rule.kind!r}")
+
+    def _rate(self, rule: AlertRule, history: MetricsHistory,
+              sample: HistorySample, now: float) -> Optional[float]:
+        current = sample.value(rule.metric, agg="sum")
+        if current is None:
+            return None
+        floor = now - rule.window_s if rule.window_s > 0 else -1.0
+        base = None
+        for past in history.samples:
+            if past is sample:
+                break
+            if past.sim_time >= floor:
+                base = past
+                break
+        if base is None:
+            return None
+        then = base.value(rule.metric, agg="sum") or 0.0
+        dt = now - base.sim_time
+        if dt <= 0:
+            return None
+        return (current - then) / dt
+
+    def _quantile(self, rule: AlertRule, now: float) -> Optional[float]:
+        family = self.cluster.registry.get(rule.metric)
+        if not isinstance(family, Histogram):
+            return None
+        # aggregate bucket counts across every label series
+        counts = [0] * len(family.buckets)
+        total = 0
+        for state in family._series.values():
+            for i, n in enumerate(state.bucket_counts):
+                counts[i] += n
+            total += state.count
+        if rule.window_s <= 0:
+            if total == 0:
+                return None
+            return quantile_from_buckets(family.buckets, counts, total,
+                                         rule.q)
+        window = self._hist_windows.setdefault(rule.name, [])
+        window.append((now, counts, total))
+        while len(window) > 1 and window[1][0] <= now - rule.window_s:
+            window.pop(0)
+        _, base_counts, base_total = window[0]
+        d_total = total - base_total
+        if d_total <= 0:
+            return None
+        d_counts = [c - b for c, b in zip(counts, base_counts)]
+        return quantile_from_buckets(family.buckets, d_counts, d_total,
+                                     rule.q)
+
+    # -- transitions ---------------------------------------------------------
+
+    def _emit(self, kind: str, **attrs) -> None:
+        events = getattr(self.cluster, "events", None)
+        if events is not None:
+            events.emit("monitor", kind, **attrs)
+
+    def _raise(self, state: _RuleState, value: float, now: float) -> None:
+        alert = Alert(seq=next(self._seq), rule=state.rule.name,
+                      metric=state.rule.metric, value=value,
+                      threshold=state.rule.threshold, raised_sim=now,
+                      peak=value)
+        state.active = alert
+        self.alerts.append(alert)
+        self._raised.inc(rule=state.rule.name)
+        self._firing.set(len(self.firing()))
+        self._emit("alert.raised", rule=state.rule.name,
+                   metric=state.rule.metric, value=round(value, 9),
+                   threshold=state.rule.threshold)
+
+    def _clear(self, state: _RuleState, now: float) -> None:
+        alert = state.active
+        alert.cleared_sim = now
+        state.active = None
+        state.ok_since = None
+        self._cleared.inc(rule=state.rule.name)
+        self._firing.set(len(self.firing()))
+        self._emit("alert.cleared", rule=state.rule.name,
+                   metric=state.rule.metric,
+                   after=round(now - alert.raised_sim, 9),
+                   peak=round(alert.peak, 9))
+
+
+def default_rules(cluster) -> List[AlertRule]:
+    """The stock rule set, thresholds from the cluster's config."""
+    config = cluster.config
+    rules = [
+        AlertRule(
+            "admission_backlog", "admission_queue_depth",
+            threshold=float(getattr(config, "alert_queue_depth", 1.0)),
+            op=">=", kind="gauge", agg="sum",
+            for_seconds=getattr(config, "alert_queue_window_s", 0.0),
+            help="queries waiting for core slots or memory budget"),
+        AlertRule(
+            "query_wait_p95", "query_wait_seconds",
+            threshold=float(getattr(config, "alert_wait_p95_s", 0.25)),
+            op=">", kind="quantile", q=0.95,
+            help="p95 simulated admission wait"),
+        AlertRule(
+            "replication_degraded", "cluster_replication_min_degree",
+            threshold=float(min(config.replication,
+                                len(cluster.workers))),
+            op="<", kind="gauge", agg="min",
+            help="some partition file has lost replicas"),
+    ]
+    budget_mb = getattr(config, "workload_memory_budget_mb", 0)
+    if budget_mb:
+        fraction = getattr(config, "alert_memory_fraction", 0.9)
+        rules.append(AlertRule(
+            "memory_watermark", "workload_memory_bytes",
+            threshold=fraction * budget_mb * 1024 * 1024,
+            op=">", kind="gauge", agg="max",
+            help="a node's live query memory nears the admission budget"))
+    replan_rate = getattr(config, "alert_replan_rate", 0.0)
+    if replan_rate:
+        rules.append(AlertRule(
+            "replan_storm", "replans_total", threshold=replan_rate,
+            op=">", kind="rate", window_s=0.0,
+            help="mid-query re-plans per simulated second"))
+    return rules
+
+
+# ---------------------------------------------------------------------------
+# QueryLog: the persistent per-query record
+# ---------------------------------------------------------------------------
+
+_SQL_STRINGS = re.compile(r"'[^']*'")
+_SQL_NUMBERS = re.compile(r"\b\d+(?:\.\d+)?\b")
+
+
+def sql_fingerprint(statement: str) -> str:
+    """Literal-insensitive statement identity (12 hex chars).
+
+    Lowercases, replaces string and numeric literals with ``?`` and
+    collapses whitespace, so the two Q6 variants of a parameter sweep
+    share one fingerprint while Q1 and Q6 do not.
+    """
+    norm = _SQL_STRINGS.sub("?", statement.lower())
+    norm = _SQL_NUMBERS.sub("?", norm)
+    norm = " ".join(norm.split())
+    return hashlib.sha1(norm.encode()).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class QueryLogRecord:
+    """One terminal managed query, as ``vh$query_log`` shows it."""
+
+    query_id: int
+    session_id: int
+    state: str  # finished | failed | cancelled
+    fingerprint: str
+    plan_signature: str
+    statement: str
+    wall_s: float
+    sim_s: float
+    wait_s: float
+    rounds: int
+    rows: int
+    peak_memory_bytes: int
+    wire_bytes: int
+    retries: int
+    replans: int
+    max_qerror: float
+
+
+class QueryLog:
+    """Bounded append-only log of terminal queries; survives metric resets.
+
+    ``retention`` caps the record count (0 = keep all); overflow drops
+    the oldest record and counts it in ``dropped`` (and the
+    ``query_log_dropped_total`` counter when a registry is attached).
+    """
+
+    def __init__(self, retention: int = 0,
+                 registry: Optional[MetricsRegistry] = None):
+        self.retention = int(retention)
+        self._records: List[QueryLogRecord] = []
+        self.dropped = 0
+        self._appended = None
+        self._dropped_counter = None
+        if registry is not None:
+            self._appended = registry.counter(
+                "query_log_records_total",
+                "Terminal queries appended to the query log, by state",
+                labels=("state",))
+            self._dropped_counter = registry.counter(
+                "query_log_dropped_total",
+                "Query-log records dropped by the retention cap")
+
+    def append(self, record: QueryLogRecord) -> None:
+        self._records.append(record)
+        if self._appended is not None:
+            self._appended.inc(state=record.state)
+        if self.retention and len(self._records) > self.retention:
+            self._records.pop(0)
+            self.dropped += 1
+            if self._dropped_counter is not None:
+                self._dropped_counter.inc()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> List[QueryLogRecord]:
+        return list(self._records)
+
+    def rows(self) -> List[tuple]:
+        """``vh$query_log`` rows, in append order."""
+        return [
+            (r.query_id, r.session_id, r.state, r.fingerprint,
+             r.plan_signature, r.statement, r.wall_s * 1e3, r.sim_s * 1e3,
+             r.wait_s * 1e3, r.rows, r.peak_memory_bytes, r.wire_bytes,
+             r.retries, r.replans, r.max_qerror)
+            for r in self._records
+        ]
+
+    # -- reports -------------------------------------------------------------
+
+    def slow_report(self, n: int = 10) -> str:
+        """The n slowest queries by simulated time, one line each."""
+        worst = sorted(self._records, key=lambda r: (-r.sim_s, r.query_id))
+        lines = [f"{'query':>6} {'state':<9} {'sim':>10} {'wall':>10} "
+                 f"{'wait':>10} {'rows':>8} {'peak mem':>10} {'q-err':>6} "
+                 "fingerprint"]
+        for r in worst[:n]:
+            lines.append(
+                f"{r.query_id:>6} {r.state:<9} {r.sim_s * 1e3:>8.3f}ms "
+                f"{r.wall_s * 1e3:>8.3f}ms {r.wait_s * 1e3:>8.3f}ms "
+                f"{r.rows:>8} {r.peak_memory_bytes:>10} "
+                f"{r.max_qerror:>6.1f} {r.fingerprint}")
+        return "\n".join(lines)
+
+    def fingerprint_stats(self) -> Dict[str, dict]:
+        """Per-fingerprint aggregates (the BENCH_query_log.json shape)."""
+        out: Dict[str, dict] = {}
+        for r in self._records:
+            entry = out.setdefault(r.fingerprint, {
+                "count": 0, "sim_s": 0.0, "wall_s": 0.0, "rows": 0,
+                "retries": 0, "replans": 0, "max_qerror": 0.0,
+                "statement": r.statement[:120],
+            })
+            entry["count"] += 1
+            entry["sim_s"] += r.sim_s
+            entry["wall_s"] += r.wall_s
+            entry["rows"] += r.rows
+            entry["retries"] += r.retries
+            entry["replans"] += r.replans
+            entry["max_qerror"] = max(entry["max_qerror"], r.max_qerror)
+        return out
+
+
+def _max_qerror(phys, annotations, profiles) -> float:
+    """Worst per-operator q-error of a finished query (1.0 = perfect)."""
+    from repro.mpp.feedback import collect_actuals
+    worst = 0.0
+    for node, actual in collect_actuals(phys, profiles).items():
+        ann = annotations.get(node) if annotations else None
+        if ann is None:
+            continue
+        a = max(float(actual), 1.0)
+        e = max(float(ann.rows), 1.0)
+        worst = max(worst, a / e, e / a)
+    return worst
+
+
+# ---------------------------------------------------------------------------
+# FlightRecorder: the facade the cluster owns
+# ---------------------------------------------------------------------------
+
+class FlightRecorder:
+    """Sampler + alert engine + query log, ticking on workload rounds."""
+
+    def __init__(self, cluster, rules: Optional[Sequence[AlertRule]] = None):
+        config = cluster.config
+        self.cluster = cluster
+        self.history = MetricsHistory(
+            cluster.registry, cluster.sim_clock,
+            cadence=getattr(config, "monitor_cadence_s", 1e-4),
+            retention=getattr(config, "monitor_retention", 256),
+            downsample=getattr(config, "monitor_downsample", "auto"),
+        )
+        self.health = HealthMonitor(
+            cluster, default_rules(cluster) if rules is None else rules)
+        self.query_log = QueryLog(
+            retention=getattr(config, "query_log_retention", 0),
+            registry=cluster.registry,
+        )
+        registry = cluster.registry
+        self._g_mem = registry.gauge(
+            "workload_memory_bytes",
+            "Live per-node memory of admitted queries (sampled)",
+            labels=("node",), sticky=True)
+        self._g_alive = registry.gauge(
+            "hdfs_nodes_alive", "Datanodes currently alive", sticky=True)
+        self._g_workers = registry.gauge(
+            "cluster_workers", "Workers in the negotiated set", sticky=True)
+        self._g_repl = registry.gauge(
+            "cluster_replication_min_degree",
+            "Alive replicas of the worst-covered partition file",
+            sticky=True)
+
+    # -- the round hook ------------------------------------------------------
+
+    def tick(self) -> None:
+        """Round hook: sample + evaluate when the cadence says so."""
+        self.history.note_round()
+        if not self.history.due():
+            return
+        self.sample()
+
+    def sample(self) -> HistorySample:
+        """Force one sample + rule evaluation right now."""
+        self._publish_derived()
+        sample = self.history.sample()
+        self.health.evaluate(self.history, sample)
+        return sample
+
+    def _publish_derived(self) -> None:
+        """Refresh the gauges that only exist as object state."""
+        cluster = self.cluster
+        workload = getattr(cluster, "workload", None)
+        if workload is not None:
+            for node, live in sorted(workload.meter.current.items()):
+                self._g_mem.set(max(0, live), node=node)
+        hdfs = getattr(cluster, "hdfs", None)
+        if hdfs is not None:
+            self._g_alive.set(
+                sum(1 for n in hdfs.nodes.values() if n.alive))
+            self._g_repl.set(self._min_replication_degree())
+        self._g_workers.set(len(getattr(cluster, "workers", ())))
+
+    def _min_replication_degree(self) -> int:
+        cluster = self.cluster
+        degree: Optional[int] = None
+        for stored in cluster.tables.values():
+            for part in stored.partitions:
+                for path in part.file_paths():
+                    alive = sum(
+                        1 for h in cluster.hdfs.replica_locations(path)
+                        if cluster.hdfs.nodes[h].alive)
+                    degree = alive if degree is None else min(degree, alive)
+        if degree is None:
+            return min(cluster.config.replication,
+                       max(1, len(cluster.workers)))
+        return degree
+
+    # -- query log -----------------------------------------------------------
+
+    def record_query(self, record) -> QueryLogRecord:
+        """Append a terminal workload-manager record to the query log."""
+        result = record.result
+        statement = record.statement or record.root_label
+        plan_signature = ""
+        annotations = None
+        phys = record.phys
+        qplan = record.qplan
+        if qplan is not None:
+            annotations = qplan.annotations
+            phys = qplan.root
+        if result is not None:
+            phys = getattr(result, "_final_root", phys)
+            annotations = getattr(result, "_annotations", annotations)
+        if annotations is not None and phys is not None:
+            ann = annotations.get(phys)
+            plan_signature = getattr(ann, "signature", "") or ""
+        if not plan_signature and phys is not None:
+            plan_signature = phys.describe()
+        max_qerror = 0.0
+        if result is not None and annotations is not None:
+            try:
+                max_qerror = _max_qerror(phys, annotations, result.profiles)
+            except Exception:  # noqa: BLE001 - diagnostics must not fail
+                max_qerror = 0.0
+        # programmatic submissions carry no SQL text: fingerprint the
+        # normalized plan signature so distinct plans stay distinct
+        fp_source = record.statement or plan_signature or statement
+        log_record = QueryLogRecord(
+            query_id=record.query_id,
+            session_id=record.session_id,
+            state=record.state,
+            fingerprint=sql_fingerprint(fp_source),
+            plan_signature=plan_signature,
+            statement=statement,
+            wall_s=max(0.0, record.finish_wall - record.submit_wall),
+            sim_s=max(0.0, record.finish_sim - record.submit_sim),
+            wait_s=record.wait_sim,
+            rounds=record.rounds,
+            rows=(result.batch.n if result is not None else 0),
+            peak_memory_bytes=(result.peak_memory_bytes
+                               if result is not None else 0),
+            wire_bytes=(result.network_bytes if result is not None else 0),
+            retries=record.retries,
+            replans=(result.replans if result is not None else 0),
+            max_qerror=max_qerror,
+        )
+        self.query_log.append(log_record)
+        return log_record

@@ -26,7 +26,10 @@ def _stat_property(counter_attr: str):
         return int(getattr(self, counter_attr).get(node=self.node))
 
     def setter(self, value):
-        getattr(self, counter_attr).set(value, node=self.node)
+        family = getattr(self, counter_attr)
+        # counters expose _assign for these legacy views; gauges use set
+        assign = getattr(family, "_assign", family.set)
+        assign(value, node=self.node)
 
     return property(getter, setter)
 

@@ -545,6 +545,7 @@ class WorkloadManager:
                    rounds=record.run.rounds,
                    sim=round(result.simulated_parallel_seconds, 9))
         self._seal_spans(record)
+        self._notify_monitor(record)
         if record.trace:
             result.trace = record.root_span
 
@@ -559,6 +560,7 @@ class WorkloadManager:
         self._emit("query.failed", query=record.query_id,
                    error=type(exc).__name__)
         self._seal_spans(record)
+        self._notify_monitor(record)
 
     def cancel(self, query_id: int, reason: str = "cancelled") -> bool:
         """Cancel a queued or suspended query; unwinds it cleanly.
@@ -584,6 +586,7 @@ class WorkloadManager:
         self._retire(record)
         self._emit("query.cancelled", query=query_id, reason=reason)
         self._seal_spans(record)
+        self._notify_monitor(record)
         self._admit()  # the freed slot may unblock the queue
         self._update_gauges()
         return True
@@ -592,6 +595,12 @@ class WorkloadManager:
         if record.query_id in self._running:
             self._running.remove(record.query_id)
         self._update_gauges()
+
+    def _notify_monitor(self, record: QueryRecord) -> None:
+        """Append the terminal query to the flight recorder's query log."""
+        monitor = getattr(self.cluster, "monitor", None)
+        if monitor is not None:
+            monitor.record_query(record)
 
     # ------------------------------------------------------------- failover
 

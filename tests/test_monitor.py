@@ -1,0 +1,599 @@
+"""The flight recorder: metric history, alert engine, query log, gate.
+
+Covers the sampling ring (cadence, retention via pair-merge compaction,
+downsample modes, wall-clock exclusion), the alert rule state machine
+(gauge/rate/quantile kinds, for/clear hysteresis, raise/clear events),
+the persistent query log (fingerprints, metric-reset survival,
+retention), the bounded cluster event log, the chaos acceptance
+scenario (a seeded node crash deterministically raises then clears an
+admission alert visible in ``vh$alerts``), and the perf-trajectory
+gate's collect/compare logic.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.chaos import ChaosController, FaultPlan, FaultSpec
+from repro.cluster import VectorHCluster
+from repro.common.config import Config
+from repro.common.errors import ReproError
+from repro.common.types import INT64
+from repro.engine.expressions import Col
+from repro.mpp.logical import LAggr, LScan, LSelect, LSort
+from repro.obs import (
+    AlertRule,
+    ClusterEventLog,
+    HealthMonitor,
+    MetricsHistory,
+    MetricsRegistry,
+    QueryLog,
+    QueryLogRecord,
+    SimClock,
+    default_rules,
+    sql_fingerprint,
+)
+from repro.sql import execute_sql
+from repro.storage import Column, TableSchema
+
+N_ROWS = 16000
+
+
+# ------------------------------------------------------------------ helpers
+
+
+class _StubCluster:
+    """Just enough cluster for a standalone HealthMonitor."""
+
+    def __init__(self):
+        self.sim_clock = SimClock()
+        self.registry = MetricsRegistry()
+        self.events = ClusterEventLog(sim_clock=self.sim_clock)
+        self.workers = ["w0", "w1"]
+
+
+def _monitored_cluster(**overrides) -> VectorHCluster:
+    config = Config().scaled_for_tests()
+    config.workload_deterministic = True
+    config.monitor_cadence_s = 0.0  # sample every workload round
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    c = VectorHCluster(n_nodes=4, config=config)
+    c.create_table(TableSchema(
+        "t", [Column("a", INT64), Column("b", INT64)],
+        partition_key=("a",), n_partitions=4, clustered_on=("a",)))
+    a = np.arange(N_ROWS)
+    c.bulk_load("t", {"a": a, "b": a % 7})
+    return c
+
+
+def _sum_plan():
+    return LAggr(LSelect(LScan("t", ["a", "b"]), Col("a") < N_ROWS),
+                 [], [("s", "sum", Col("b"))])
+
+
+def _sort_plan():
+    # sorts stream one batch per round: stays in flight for many rounds
+    return LSort(LSelect(LScan("t", ["a", "b"]), Col("a") < N_ROWS), ["a"])
+
+
+# ------------------------------------------------------------ MetricsHistory
+
+
+class TestMetricsHistory:
+    def _history(self, cadence=0.0, retention=8, downsample="auto"):
+        clock = SimClock()
+        reg = MetricsRegistry()
+        return MetricsHistory(reg, clock, cadence=cadence,
+                              retention=retention,
+                              downsample=downsample), reg, clock
+
+    def test_cadence_spacing_on_sim_clock(self):
+        hist, reg, clock = self._history(cadence=1.0)
+        reg.gauge("g").set(1)
+        assert hist.due()  # first sample is always due
+        hist.sample()
+        assert not hist.due()
+        clock.advance(0.5)
+        assert not hist.due()
+        clock.advance(0.5)
+        assert hist.due()
+
+    def test_cadence_zero_samples_every_round(self):
+        hist, _reg, _clock = self._history(cadence=0.0)
+        hist.sample()
+        assert not hist.due()
+        hist.note_round()
+        assert hist.due()
+
+    def test_compaction_bounds_memory_and_doubles_interval(self):
+        hist, reg, clock = self._history(cadence=1.0, retention=4)
+        g = reg.gauge("g")
+        for i in range(10):
+            g.set(i)
+            hist.sample()
+            clock.advance(1.0)
+        assert len(hist.samples) <= 4
+        assert hist.compactions >= 1
+        assert hist.interval == 1.0 * 2 ** hist.compactions
+        # the newest sample is always exact; older ones got merged
+        assert hist.samples[-1].sim_time == 9.0
+        times = [s.sim_time for s in hist.samples]
+        assert times == sorted(times)
+
+    def test_auto_mode_counters_last_gauges_max(self):
+        hist, reg, clock = self._history(cadence=1.0, retention=4)
+        c = reg.counter("ops_total")
+        g = reg.gauge("depth")
+        gauge_values = [0, 9, 2, 1, 5]
+        for i, gv in enumerate(gauge_values):
+            c.inc(10)  # cumulative: 10, 20, ...
+            g.set(gv)
+            hist.sample()
+            clock.advance(1.0)
+        assert hist.compactions == 1
+        counts = [s.value("ops_total") for s in hist.samples]
+        # merged pairs keep the *last* cumulative counter value
+        assert counts == [20.0, 40.0, 50.0]
+        depths = [s.value("depth") for s in hist.samples]
+        # ...and the *max* gauge value, so the 9 watermark survives
+        assert depths == [9.0, 2.0, 5.0]
+
+    def test_sum_mode_forced(self):
+        hist, reg, clock = self._history(cadence=1.0, retention=4,
+                                         downsample="sum")
+        g = reg.gauge("depth")
+        for gv in (1, 2, 3, 4, 5):
+            g.set(gv)
+            hist.sample()
+            clock.advance(1.0)
+        assert [s.value("depth") for s in hist.samples] == [3.0, 7.0, 5.0]
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ReproError):
+            MetricsHistory(MetricsRegistry(), SimClock(),
+                           downsample="median")
+
+    def test_excluded_families_not_sampled(self):
+        clock = SimClock()
+        reg = MetricsRegistry()
+        reg.histogram("executor_stream_seconds", buckets=(1.0,)).observe(0.5)
+        reg.counter("kept_total").inc()
+        hist = MetricsHistory(reg, clock)
+        sample = hist.sample()
+        names = {name for name, _ in sample.values}
+        assert "kept_total" in names
+        assert not any(n.startswith("executor_stream_seconds")
+                       for n in names)
+
+    def test_series_and_label_filter(self):
+        hist, reg, clock = self._history(cadence=1.0)
+        c = reg.counter("reads_total", labels=("node",))
+        c.inc(3, node="n1")
+        c.inc(5, node="n2")
+        hist.sample()
+        clock.advance(1.0)
+        c.inc(1, node="n1")
+        hist.sample()
+        assert hist.series("reads_total") == [(0.0, 8.0), (1.0, 9.0)]
+        assert hist.series("reads_total", labels={"node": "n1"}) == [
+            (0.0, 3.0), (1.0, 4.0)]
+
+    def test_rows_and_render_and_export(self):
+        hist, reg, _clock = self._history()
+        reg.counter("x_total", labels=("node",)).inc(2, node="n1")
+        hist.sample()
+        rows = hist.rows()
+        assert (0, 0.0, "x_total", "node=n1", 2.0) in rows
+        text = hist.render_latest()
+        assert text.startswith("# metrics_history sample=0 ")
+        assert 'x_total{node="n1"} 2' in text
+        doc = hist.export_json()
+        assert doc["samples"][0]["values"]["x_total{node=n1}"] == 2.0
+
+    def test_histograms_recorded_as_count_and_sum(self):
+        hist, reg, _clock = self._history()
+        h = reg.histogram("lat_seconds", buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(0.25)
+        sample = hist.sample()
+        assert sample.value("lat_seconds_count") == 2.0
+        assert sample.value("lat_seconds_sum") == pytest.approx(0.75)
+
+
+# ------------------------------------------------------------- HealthMonitor
+
+
+class _Harness:
+    """A stub cluster + history + monitor driven by explicit steps."""
+
+    def __init__(self, rules):
+        self.stub = _StubCluster()
+        self.history = MetricsHistory(self.stub.registry,
+                                      self.stub.sim_clock, cadence=0.0)
+        self.health = HealthMonitor(self.stub, rules)
+
+    def step(self, dt: float = 1.0):
+        self.stub.sim_clock.advance(dt)
+        sample = self.history.sample()
+        self.health.evaluate(self.history, sample)
+
+    def event_kinds(self):
+        return [e.kind for e in self.stub.events
+                if e.kind.startswith("alert.")]
+
+
+class TestAlertRules:
+    def test_gauge_rule_raises_and_clears(self):
+        h = _Harness([AlertRule("hot", "pressure", threshold=5.0)])
+        g = h.stub.registry.gauge("pressure")
+        g.set(2)
+        h.step()
+        assert h.health.firing() == []
+        g.set(7)
+        h.step()
+        (alert,) = h.health.firing()
+        assert alert.rule == "hot" and alert.value == 7.0
+        assert h.stub.registry.value("alerts_firing") == 1
+        g.set(9)  # peak tracked while firing
+        h.step()
+        g.set(1)
+        h.step()
+        assert h.health.firing() == []
+        assert alert.state == "cleared" and alert.peak == 9.0
+        assert h.event_kinds() == ["alert.raised", "alert.cleared"]
+        assert h.stub.registry.value("alerts_raised_total", rule="hot") == 1
+        assert h.stub.registry.value("alerts_cleared_total", rule="hot") == 1
+
+    def test_for_seconds_requires_sustained_breach(self):
+        h = _Harness([AlertRule("hot", "pressure", threshold=5.0,
+                                for_seconds=2.0)])
+        g = h.stub.registry.gauge("pressure")
+        g.set(9)
+        h.step()  # breach starts
+        g.set(1)
+        h.step()  # ...but recovers before 2s: no alert
+        assert h.health.alerts == []
+        g.set(9)
+        h.step()  # t: breach restarts
+        h.step()  # t+1: still < 2s
+        assert h.health.alerts == []
+        h.step()  # t+2: sustained
+        assert len(h.health.firing()) == 1
+
+    def test_clear_for_seconds_hysteresis(self):
+        h = _Harness([AlertRule("hot", "pressure", threshold=5.0,
+                                clear_for_seconds=2.0)])
+        g = h.stub.registry.gauge("pressure")
+        g.set(9)
+        h.step()
+        g.set(1)
+        h.step()  # ok starts; not yet cleared
+        assert len(h.health.firing()) == 1
+        g.set(9)
+        h.step()  # flap back: ok window resets
+        g.set(1)
+        h.step()
+        h.step()
+        h.step()  # 2s of sustained ok
+        assert h.health.firing() == []
+        (alert,) = h.health.alerts  # one alert, not one per flap
+        assert alert.state == "cleared"
+
+    def test_rate_rule_on_counter(self):
+        h = _Harness([AlertRule("storm", "replans_total", threshold=5.0,
+                                kind="rate")])
+        c = h.stub.registry.counter("replans_total")
+        h.step()  # base sample; no rate yet
+        c.inc(20)
+        h.step()  # 20 more over the 1s since the base sample
+        (alert,) = h.health.firing()
+        assert alert.value == pytest.approx(20.0)
+
+    def test_quantile_rule_on_histogram(self):
+        h = _Harness([AlertRule("slow", "wait_seconds", threshold=1.0,
+                                kind="quantile", q=0.95)])
+        hist = h.stub.registry.histogram("wait_seconds",
+                                         buckets=(0.5, 1.0, 2.0, 4.0))
+        for _ in range(20):
+            hist.observe(3.0)
+        h.step()
+        (alert,) = h.health.firing()
+        assert alert.value > 1.0
+
+    def test_missing_metric_skips_evaluation(self):
+        h = _Harness([AlertRule("ghost", "nope", threshold=1.0)])
+        h.step()
+        assert h.health.evaluations("ghost") == 0
+        assert h.health.alerts == []
+
+    def test_duplicate_rule_rejected(self):
+        h = _Harness([AlertRule("hot", "pressure", threshold=5.0)])
+        with pytest.raises(ReproError):
+            h.health.add_rule(AlertRule("hot", "pressure", threshold=9.0))
+
+    def test_rows_mark_firing_with_sentinel(self):
+        h = _Harness([AlertRule("hot", "pressure", threshold=5.0)])
+        h.stub.registry.gauge("pressure").set(9)
+        h.step()
+        ((_, rule, _, state, _, _, _, cleared, _),) = h.health.rows()
+        assert (rule, state, cleared) == ("hot", "firing", -1.0)
+
+
+class TestDefaultRules:
+    def test_stock_rules_follow_config(self, cluster):
+        names = {r.name for r in default_rules(cluster)}
+        assert {"admission_backlog", "query_wait_p95",
+                "replication_degraded"} <= names
+
+    def test_memory_and_replan_rules_are_gated_on_config(self, config):
+        config.workload_memory_budget_mb = 64
+        config.alert_replan_rate = 2.0
+        c = VectorHCluster(n_nodes=4, config=config)
+        names = {r.name for r in default_rules(c)}
+        assert {"memory_watermark", "replan_storm"} <= names
+
+
+# ----------------------------------------------------------------- QueryLog
+
+
+class TestQueryLog:
+    def _record(self, qid, state="finished", sim_s=0.001, stmt=""):
+        return QueryLogRecord(
+            query_id=qid, session_id=0, state=state, fingerprint="f",
+            plan_signature="p", statement=stmt, wall_s=0.1, sim_s=sim_s,
+            wait_s=0.0, rounds=1, rows=10, peak_memory_bytes=100,
+            wire_bytes=5, retries=0, replans=0, max_qerror=1.0)
+
+    def test_retention_drops_oldest(self):
+        reg = MetricsRegistry()
+        log = QueryLog(retention=2, registry=reg)
+        for i in range(5):
+            log.append(self._record(i))
+        assert [r.query_id for r in log.records()] == [3, 4]
+        assert log.dropped == 3
+        assert reg.value("query_log_dropped_total") == 3
+        assert reg.value("query_log_records_total", state="finished") == 5
+
+    def test_slow_report_orders_by_sim_time(self):
+        log = QueryLog()
+        log.append(self._record(1, sim_s=0.001))
+        log.append(self._record(2, sim_s=0.009))
+        report = log.slow_report(1)
+        assert "\n".join(report.splitlines()[1:]).lstrip().startswith("2 ")
+
+    def test_sql_fingerprint_is_literal_insensitive(self):
+        a = sql_fingerprint("SELECT * FROM t WHERE a < 100 AND s = 'x'")
+        b = sql_fingerprint("select *  from t where a < 5 and s = 'yy'")
+        c = sql_fingerprint("select * from u where a < 5")
+        assert a == b != c
+
+
+class TestFlightRecorderIntegration:
+    def test_cluster_ticks_and_logs_queries(self):
+        c = _monitored_cluster()
+        c.query(_sum_plan())
+        assert len(c.monitor.history.samples) >= 1
+        (rec,) = c.monitor.query_log.records()
+        assert rec.state == "finished" and rec.rows == 1
+        assert rec.plan_signature  # programmatic: fingerprinted plan
+        assert rec.fingerprint == sql_fingerprint(rec.plan_signature)
+        assert rec.sim_s > 0 and rec.rounds > 0
+
+    def test_query_log_survives_metrics_reset(self):
+        c = _monitored_cluster()
+        c.query(_sum_plan())
+        c.metrics().reset()
+        assert len(c.monitor.query_log) == 1
+        assert c.metrics().value("query_log_records_total",
+                                 state="finished") == 0
+
+    def test_sql_statement_recorded_with_fingerprint(self):
+        c = _monitored_cluster()
+        execute_sql(c, "SELECT count(*) AS n FROM t WHERE a < 100")
+        execute_sql(c, "SELECT count(*) AS n FROM t WHERE a < 200")
+        recs = c.monitor.query_log.records()
+        assert len(recs) == 2
+        assert recs[0].statement.lower().startswith("select")
+        # literals differ, fingerprint does not
+        assert recs[0].fingerprint == recs[1].fingerprint
+        stats = c.monitor.query_log.fingerprint_stats()
+        assert stats[recs[0].fingerprint]["count"] == 2
+
+    def test_cancelled_query_is_logged(self):
+        c = _monitored_cluster()
+        qid = c.submit(_sort_plan())
+        assert c.workload.cancel(qid)
+        states = [r.state for r in c.monitor.query_log.records()]
+        assert "cancelled" in states
+
+    def test_system_tables_queryable(self):
+        c = _monitored_cluster()
+        c.query(_sum_plan())
+        c.monitor.sample()
+        hist = execute_sql(
+            c, "select metric, value from vh$metrics_history")
+        assert hist.n >= 1
+        metrics = set(hist.columns["metric"])
+        assert "admission_queue_depth" in metrics
+        # the vh$metrics_history SELECT above is itself a managed query,
+        # so by now the log holds it too
+        qlog = execute_sql(
+            c, "select query, state, fingerprint from vh$query_log")
+        assert qlog.n >= 2
+        assert all(s == "finished" for s in qlog.columns["state"])
+        execute_sql(c, "select rule, state from vh$alerts")  # empty but valid
+
+    def test_monitor_can_be_disabled(self):
+        config = Config().scaled_for_tests()
+        config.monitor_enabled = False
+        c = VectorHCluster(n_nodes=4, config=config)
+        assert c.monitor is None
+
+
+# ----------------------------------------------------- chaos acceptance
+
+
+def _chaos_scenario():
+    """Seeded node crash under a 6-query backlog; returns the cluster."""
+    c = _monitored_cluster(alert_queue_depth=1.0)
+    plan = FaultPlan([FaultSpec(2e-5, "node.crash", c.workers[-1])])
+    ChaosController(c, seed=7, plan=plan).install()
+    qids = [c.submit(_sort_plan()) for _ in range(6)]
+    for qid in qids:
+        c.gather(qid)
+    c.monitor.sample()  # final evaluation after the drain
+    return c
+
+
+class TestChaosAcceptance:
+    def test_crash_raises_then_clears_admission_alert(self):
+        c = _chaos_scenario()
+        backlog = [a for a in c.monitor.health.alerts
+                   if a.rule == "admission_backlog"]
+        assert backlog, "admission backlog alert never raised"
+        assert all(a.state == "cleared" for a in backlog)
+        assert backlog[0].peak >= 2.0  # 6 queries vs 4 core slots
+        kinds = [e.kind for e in c.events if e.source == "monitor"]
+        assert "alert.raised" in kinds and "alert.cleared" in kinds
+        # the queue-depth series has enough samples to plot the episode
+        depth = c.monitor.history.series("admission_queue_depth")
+        assert len(depth) >= 3
+        assert max(v for _, v in depth) >= 2.0
+
+    def test_alerts_visible_through_sql(self):
+        c = _chaos_scenario()
+        rows = execute_sql(
+            c, "select rule, state, raised_sim, cleared_sim from vh$alerts")
+        assert rows.n >= 1
+        by_rule = dict(zip(rows.columns["rule"], rows.columns["state"]))
+        assert by_rule.get("admission_backlog") == "cleared"
+        raised = float(rows.columns["raised_sim"][0])
+        cleared = float(rows.columns["cleared_sim"][0])
+        assert cleared > raised >= 0.0
+
+    def test_same_seed_runs_are_bit_identical(self):
+        a, b = _chaos_scenario(), _chaos_scenario()
+        assert a.monitor.health.sequence() == b.monitor.health.sequence()
+        assert a.monitor.history.rows() == b.monitor.history.rows()
+        assert a.monitor.history.render_latest() == \
+            b.monitor.history.render_latest()
+        assert [r.fingerprint for r in a.monitor.query_log.records()] == \
+            [r.fingerprint for r in b.monitor.query_log.records()]
+
+
+# ------------------------------------------------------- bounded event log
+
+
+class TestEventLogRetention:
+    def test_keep_all_by_default(self):
+        log = ClusterEventLog()
+        for i in range(100):
+            log.emit("t", "tick", i=i)
+        assert len(log) == 100 and log.dropped == 0
+
+    def test_retention_drops_oldest_and_counts(self):
+        reg = MetricsRegistry()
+        log = ClusterEventLog(retention=3, registry=reg)
+        for i in range(10):
+            log.emit("t", "tick", i=i)
+        assert len(log) == 3
+        assert log.dropped == 7
+        assert reg.value("events_dropped_total") == 7
+        # seq stays monotonic across the drop boundary
+        assert [e.seq for e in log] == [7, 8, 9]
+        assert [e.seq for e in log.tail(2)] == [8, 9]
+
+    def test_cluster_event_log_obeys_config(self):
+        config = Config().scaled_for_tests()
+        config.event_log_retention = 5
+        c = VectorHCluster(n_nodes=4, config=config)
+        for i in range(20):
+            c.events.emit("t", "tick", i=i)
+        assert len(c.events) == 5
+
+
+# --------------------------------------------------------- trajectory gate
+
+
+class TestTrajectoryGate:
+    def test_flatten_keeps_numeric_scalars_only(self):
+        from benchmarks.trajectory import flatten
+        flat = flatten({"a": {"b_s": 1, "runs": [1, 2], "name": "x",
+                              "ok": True}, "c_qps": 2.5})
+        assert flat == {"a.b_s": 1.0, "c_qps": 2.5}
+
+    def test_gating_selects_time_like_keys(self):
+        from benchmarks.trajectory import is_gated
+        assert is_gated("mix.makespan_s")
+        assert is_gated("levels.4.throughput_qps")
+        assert is_gated("wait_ms")
+        assert not is_gated("rows")
+        assert not is_gated("wall_s")  # host wall clock is exempt
+        assert not is_gated("x.total_wall_s")
+
+    def _point(self, tmp_path, name, payload):
+        (tmp_path / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+    def test_regression_detected_and_recorded(self, tmp_path):
+        from benchmarks.trajectory import collect, compare
+        self._point(tmp_path, "x",
+                    {"scale_factor": 0.01, "makespan_s": 1.0, "qps_qps": 10})
+        old = collect(tmp_path)
+        self._point(tmp_path, "x",
+                    {"scale_factor": 0.01, "makespan_s": 1.5, "qps_qps": 10})
+        regs, _ = compare(collect(tmp_path), old, tolerance=0.25)
+        (reg,) = regs
+        assert reg["metric"] == "makespan_s"
+        # within tolerance: no trip
+        self._point(tmp_path, "x",
+                    {"scale_factor": 0.01, "makespan_s": 1.2, "qps_qps": 10})
+        regs, _ = compare(collect(tmp_path), old, tolerance=0.25)
+        assert regs == []
+
+    def test_throughput_gates_in_the_other_direction(self, tmp_path):
+        from benchmarks.trajectory import collect, compare
+        self._point(tmp_path, "x", {"throughput_qps": 10.0})
+        old = collect(tmp_path)
+        self._point(tmp_path, "x", {"throughput_qps": 5.0})
+        regs, _ = compare(collect(tmp_path), old, tolerance=0.25)
+        assert len(regs) == 1 and regs[0]["direction"] == "higher-is-better"
+        self._point(tmp_path, "x", {"throughput_qps": 9.0})
+        regs, _ = compare(collect(tmp_path), old, tolerance=0.25)
+        assert regs == []
+
+    def test_context_change_skips_gating(self, tmp_path):
+        from benchmarks.trajectory import collect, compare
+        self._point(tmp_path, "x",
+                    {"scale_factor": 0.01, "makespan_s": 1.0})
+        old = collect(tmp_path)
+        self._point(tmp_path, "x",
+                    {"scale_factor": 0.05, "makespan_s": 99.0})
+        regs, skipped = compare(collect(tmp_path), old, tolerance=0.25)
+        assert regs == []
+        assert any("context changed" in s for s in skipped)
+
+    def test_update_trajectory_appends_and_gates(self, tmp_path):
+        from benchmarks.trajectory import update_trajectory
+        self._point(tmp_path, "x", {"makespan_s": 1.0})
+        assert update_trajectory(tmp_path, tolerance=0.25, check=True) == 0
+        doc = json.loads((tmp_path / "BENCH_trajectory.json").read_text())
+        assert len(doc["entries"]) == 1
+        assert doc["entries"][0]["benches"]["x"]["metrics"] == {
+            "makespan_s": 1.0}
+        # a regression fails the gate but is still recorded...
+        self._point(tmp_path, "x", {"makespan_s": 2.0})
+        assert update_trajectory(tmp_path, tolerance=0.25, check=True) == 1
+        doc = json.loads((tmp_path / "BENCH_trajectory.json").read_text())
+        assert len(doc["entries"]) == 2
+        assert doc["entries"][1]["regressions"]
+        # ...and check=False records without enforcing
+        self._point(tmp_path, "x", {"makespan_s": 4.0})
+        assert update_trajectory(tmp_path, tolerance=0.25, check=False) == 0
+
+    def test_empty_results_dir_fails(self, tmp_path):
+        from benchmarks.trajectory import update_trajectory
+        assert update_trajectory(tmp_path, tolerance=0.25, check=True) == 1

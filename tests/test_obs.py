@@ -105,6 +105,116 @@ class TestHistogram:
         assert h.get()["buckets"][1.0] == 1
 
 
+class TestHistogramQuantile:
+    def test_interpolates_inside_bucket(self):
+        from repro.obs import quantile_from_buckets
+        # 10 observations spread evenly into (0,1]: the median rank (5)
+        # sits at the end of the first bucket
+        assert quantile_from_buckets(
+            (1.0, 2.0), (5, 5), 10, 0.5) == pytest.approx(1.0)
+        # rank 7.5 is halfway through the (1,2] bucket -> 1.5
+        assert quantile_from_buckets(
+            (1.0, 2.0), (5, 5), 10, 0.75) == pytest.approx(1.5)
+
+    def test_family_quantile_matches_helper(self):
+        h = MetricsRegistry().histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        # rank 2 of 4 lands at the end of the (0.1, 1.0] bucket's first
+        # observation: interpolated inside (0.1, 1.0]
+        q50 = h.quantile(0.5)
+        assert 0.1 < q50 <= 1.0
+        assert h.quantile(1.0) == pytest.approx(10.0)
+
+    def test_overflow_collapses_to_top_bound(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0))
+        h.observe(100.0)  # +Inf bucket
+        assert h.quantile(0.99) == pytest.approx(2.0)
+
+    def test_empty_histogram_is_zero(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0,))
+        assert h.quantile(0.5) == 0.0
+
+    def test_labelled_series_and_aggregate(self):
+        h = MetricsRegistry().histogram(
+            "lat", labels=("node",), buckets=(1.0, 2.0, 4.0))
+        for _ in range(8):
+            h.observe(0.5, node="n1")
+        for _ in range(8):
+            h.observe(3.0, node="n2")
+        assert h.quantile(0.5, node="n1") <= 1.0
+        assert h.quantile(0.5, node="n2") > 2.0
+        # bare call on a labelled family pools every series
+        pooled = h.quantile(0.5)
+        assert 1.0 <= pooled <= 4.0
+
+    def test_monotone_in_q(self):
+        h = MetricsRegistry().histogram("lat", buckets=(0.5, 1.0, 2.0, 4.0))
+        for v in (0.1, 0.6, 0.7, 1.5, 3.0, 9.0):
+            h.observe(v)
+        qs = [h.quantile(q) for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)]
+        assert qs == sorted(qs)
+
+
+class TestCounterSetDeprecation:
+    def test_set_warns_but_still_assigns(self):
+        c = MetricsRegistry().counter("x_total", labels=("node",))
+        c.inc(5, node="n1")
+        with pytest.warns(DeprecationWarning, match="Counter.set"):
+            c.set(2, node="n1")
+        assert c.get(node="n1") == 2
+
+    def test_assign_is_the_silent_path(self, recwarn):
+        c = MetricsRegistry().counter("x_total")
+        c._assign(7)
+        assert c.get() == 7
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+
+class TestExpositionFormat:
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", "weird", labels=("path",))
+        c.inc(1, path='a"b\\c\nd')
+        text = reg.render()
+        assert 'x_total{path="a\\"b\\\\c\\nd"} 1' in text
+        # the rendered exposition must stay line-parseable
+        for line in text.splitlines():
+            assert "\n" not in line
+
+    def test_help_newlines_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "line one\nline two").inc()
+        text = reg.render()
+        assert "# HELP x_total line one\\nline two" in text
+
+    def test_help_type_ordering(self):
+        """Every family renders exactly one HELP then one TYPE line,
+        immediately followed by its samples, families sorted by name."""
+        reg = MetricsRegistry()
+        reg.counter("b_total", "b help").inc(2)
+        reg.gauge("a_gauge", "a help").set(1)
+        reg.histogram("c_seconds", "c help", buckets=(1.0,)).observe(0.5)
+        lines = reg.render().splitlines()
+        families = []
+        i = 0
+        while i < len(lines):
+            assert lines[i].startswith("# HELP "), lines[i]
+            name = lines[i].split()[2]
+            assert lines[i + 1].startswith(f"# TYPE {name} "), lines[i + 1]
+            i += 2
+            samples = 0
+            while i < len(lines) and not lines[i].startswith("#"):
+                assert lines[i].split("{")[0].startswith(name)
+                samples += 1
+                i += 1
+            assert samples > 0, f"family {name} rendered no samples"
+            families.append(name)
+        assert families == sorted(families) == [
+            "a_gauge", "b_total", "c_seconds"]
+
+
 class TestRegistry:
     def test_snapshot_is_isolated(self):
         reg = MetricsRegistry()
