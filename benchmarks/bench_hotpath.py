@@ -1,0 +1,161 @@
+"""Hot-path bench: rows/sec per operator kernel + wall clock per query.
+
+Runs a TPC-H mix on a deterministic-cost cluster and writes the
+ROADMAP-mandated ``BENCH_hotpath.json``: per-query wall/sim seconds and
+rows, plus the continuous profiler's cumulative per-operator and
+per-kernel tables. The ``sim_cost_s`` keys are derived purely from
+deterministic batch/row counts, so the trajectory gate
+(``benchmarks/trajectory.py``) can compare them PR-over-PR -- and when
+one regresses, its attribution mode diffs exactly these
+``operators.*`` / ``kernels.*`` keys to name the kernel that slowed.
+Wall-clock keys carry ``wall`` in the leaf and stay exempt.
+
+Artifacts: ``BENCH_hotpath.json``, ``hotpath_report.txt`` (top-k hot
+paths), ``hotpath_q1_flamegraph.folded``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Tuple
+
+from benchmarks.conftest import (
+    N_PARTITIONS,
+    N_WORKERS,
+    RESULTS_DIR,
+    SCALE_FACTOR,
+    bench_config,
+    write_report,
+)
+from repro.cluster import VectorHCluster
+from repro.obs.profiler import folded_stacks, kernel_sim_cost
+from repro.tpch import tpch_schemas
+from repro.tpch.queries import run_query
+from repro.tpch.schema import LOAD_ORDER
+
+#: the query mix: scan+aggregation (1), join+topn (3), multi-join (5),
+#: selective scan (6), group+join+topn (10), case/aggregation (12)
+QUERIES = (1, 3, 5, 6, 10, 12)
+
+
+def make_cluster(tpch_data) -> VectorHCluster:
+    """A deterministic-cost cluster so sim_cost keys are comparable."""
+    config = bench_config()
+    config.workload_deterministic = True
+    cluster = VectorHCluster(n_nodes=N_WORKERS, config=config)
+    schemas = tpch_schemas(n_partitions=N_PARTITIONS)
+    for name in LOAD_ORDER:
+        cluster.create_table(schemas[name])
+        cluster.bulk_load(name, tpch_data[name])
+    return cluster
+
+
+def run_queries(cluster, numbers=QUERIES) -> Tuple[Dict[str, dict], Dict[int, list]]:
+    """Execute the mix; returns ({qN: wall/sim/rows}, {N: q-profiles})."""
+    queries: Dict[str, dict] = {}
+    profiles: Dict[int, list] = {}
+    for number in numbers:
+        stats = {"sim": 0.0, "profiles": []}
+
+        def runner(plan):
+            result = cluster.query(plan)
+            stats["sim"] += result.simulated_parallel_seconds
+            stats["profiles"] = result.profiles
+            return result.batch
+
+        t0 = time.perf_counter()
+        batch = run_query(runner, number)
+        queries[f"q{number}"] = {
+            "wall_s": time.perf_counter() - t0,
+            "sim_s": stats["sim"],
+            "rows": int(batch.n),
+        }
+        profiles[number] = stats["profiles"]
+    return queries, profiles
+
+
+def profiler_tables(profiler) -> Tuple[Dict[str, dict], Dict[str, dict]]:
+    """The profiler's cumulative stats as JSON-ready operator/kernel maps."""
+    operators: Dict[str, dict] = {}
+    kernels: Dict[str, dict] = {}
+    for kind in sorted(profiler.stats):
+        agg = profiler.stats[kind]
+        operators[kind] = {
+            "rows_in": agg.rows_in,
+            "rows_out": agg.rows_out,
+            "batches": agg.batches,
+            "net_bytes": agg.net_bytes,
+            "sim_cost_s": agg.sim_cost,
+            "wall_s": agg.wall_seconds,
+            "rows_per_wall_s": (agg.rows_out / agg.wall_seconds
+                                if agg.wall_seconds > 0 else 0.0),
+        }
+        if agg.kernels:
+            kernels[kind] = {
+                name: {
+                    "calls": stat.calls,
+                    "rows": stat.rows,
+                    "bytes": stat.bytes,
+                    "sim_cost_s": kernel_sim_cost(stat),
+                    "wall_s": stat.seconds,
+                    "rows_per_wall_s": (stat.rows / stat.seconds
+                                        if stat.seconds > 0 else 0.0),
+                }
+                for name, stat in sorted(agg.kernels.items())
+            }
+    return operators, kernels
+
+
+def build_payload(cluster, queries: Dict[str, dict]) -> dict:
+    operators, kernels = profiler_tables(cluster.profiler)
+    return {
+        "scale_factor": SCALE_FACTOR,
+        "workers": N_WORKERS,
+        "queries": queries,
+        "operators": operators,
+        "kernels": kernels,
+    }
+
+
+def test_bench_hotpath(tpch_data):
+    cluster = make_cluster(tpch_data)
+    queries, profiles = run_queries(cluster)
+    payload = build_payload(cluster, queries)
+
+    # every query produced rows and charged deterministic sim cost
+    for name, entry in payload["queries"].items():
+        assert entry["rows"] > 0, name
+        assert entry["sim_s"] > 0, name
+    # the hot kernels the tentpole names are all present
+    kernel_names = {
+        name for table in payload["kernels"].values() for name in table
+    }
+    assert any(k.startswith("decode.") for k in kernel_names)
+    assert "scan.read_block" in kernel_names
+    assert "aggr.accumulate" in kernel_names
+    assert "join.probe" in kernel_names
+    assert "exchange.serialize" in kernel_names
+    # per-operator-kernel rows/sec is reported for row-carrying kernels
+    scan_kind = next(k for k in payload["kernels"] if k.startswith("MScan"))
+    decode = [v for name, v in payload["kernels"][scan_kind].items()
+              if name.startswith("decode.")]
+    assert decode and all(v["rows_per_wall_s"] > 0 for v in decode)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_hotpath.json").write_text(
+        json.dumps(payload, indent=2))
+    folded = folded_stacks(profiles[1])
+    (RESULTS_DIR / "hotpath_q1_flamegraph.folded").write_text(folded)
+
+    lines: List[str] = [
+        f"HOT PATHS: TPC-H {', '.join(f'q{n}' for n in QUERIES)} "
+        f"at SF {SCALE_FACTOR} on {N_WORKERS} workers",
+        "",
+        f"{'query':<6} {'wall':>10} {'sim':>10} {'rows':>8}",
+    ]
+    for name, entry in payload["queries"].items():
+        lines.append(f"{name:<6} {entry['wall_s'] * 1e3:>8.1f}ms "
+                     f"{entry['sim_s'] * 1e3:>8.3f}ms {entry['rows']:>8}")
+    lines += ["", cluster.profiler.report()]
+    write_report("hotpath_report.txt", "\n".join(lines))

@@ -5,7 +5,7 @@ Usage::
     PYTHONPATH=src python benchmarks/smoke_obs.py [outdir]
 
 Loads a small TPC-H database (``REPRO_SF``, default 0.002), runs Q1 with
-``trace=True`` plus Q6, and writes six artifacts (CI uploads all):
+``trace=True`` plus Q6, and writes eight artifacts (CI uploads all):
 
 * ``q1_trace.json``    -- Chrome-trace JSON, loadable in Perfetto /
   ``chrome://tracing``
@@ -19,6 +19,14 @@ Loads a small TPC-H database (``REPRO_SF``, default 0.002), runs Q1 with
 * ``metrics_history.json`` -- the sampled metric time series
   (``vh$metrics_history``) as JSON; its latest-sample Prometheus
   rendering is re-parsed with the same format check as metrics.prom
+* ``q1_flamegraph.folded``   -- Q1's operator/kernel profile as folded
+  stacks (one ``stack count`` pair per line, parse-checked here); feed
+  to any flamegraph renderer
+* ``q1_profile.chrome.json`` -- the same profile as a Chrome trace
+
+The run also measures the continuous profiler's overhead: Q1 is timed
+with kernel attribution on and off (interleaved, best-of-N) and the
+relative overhead is printed and asserted under the 5% budget.
 
 It also writes ``BENCH_query_log.json`` under ``benchmarks/results/``
 (simulated-time aggregates of the persistent query log) so the
@@ -39,6 +47,8 @@ import sys
 
 from repro.common.config import Config
 from repro.cluster import VectorHCluster
+from repro.engine.profile import set_kernel_profiling
+from repro.obs.profiler import folded_stacks, profile_chrome_trace
 from repro.sql import execute_sql
 from repro.tpch import generate_tpch, tpch_schemas
 from repro.tpch.queries import q1, q6
@@ -61,6 +71,43 @@ order by l_returnflag, l_linestatus
 _PROM_LINE = re.compile(
     r"^[A-Za-z_:][A-Za-z0-9_:]*(\{[^}]*\})?\s+[-+0-9.eE]+(\s+\d+)?$"
 )
+
+
+def check_folded(text: str) -> int:
+    """Assert every line is one ``stack count`` pair; return the count."""
+    lines = [line for line in text.splitlines() if line]
+    assert lines, "empty folded-stack output"
+    for line in lines:
+        stack, _, count = line.rpartition(" ")
+        assert stack, f"bad folded line: {line!r}"
+        assert int(count) >= 1, f"bad folded count: {line!r}"
+    return len(lines)
+
+
+def measure_profiler_overhead(cluster, runs: int = 5):
+    """Best-of-N Q1 wall time with kernel attribution on vs off.
+
+    Interleaved so drift hits both sides equally; returns
+    (min_on_seconds, min_off_seconds).
+    """
+    import time as _time
+
+    def once() -> float:
+        t0 = _time.perf_counter()
+        q1(lambda plan: cluster.query(plan).batch)
+        return _time.perf_counter() - t0
+
+    once()  # warm caches/buffers outside the measurement
+    on_times, off_times = [], []
+    try:
+        for _ in range(runs):
+            set_kernel_profiling(True)
+            on_times.append(once())
+            set_kernel_profiling(False)
+            off_times.append(once())
+    finally:
+        set_kernel_profiling(True)
+    return min(on_times), min(off_times)
 
 
 def check_prometheus_exposition(text: str) -> int:
@@ -94,14 +141,17 @@ def main(outdir: str) -> None:
     sql_trace = cluster.tracer.last_trace
 
     traces = {}
+    results = {}
 
     def run(plan):
         res = cluster.query(plan, trace=True)
         traces.setdefault("q1", res.trace)
+        results.setdefault("q1", res)
         return res.batch
 
     q1(run)
     trace = traces["q1"]
+    q1_result = results["q1"]
     q6(lambda plan: cluster.query(plan).batch)
 
     explain = execute_sql(cluster, "explain analyze " + Q1_SQL)
@@ -152,6 +202,11 @@ def main(outdir: str) -> None:
     (out / "alerts.txt").write_text("\n".join(alert_lines) + "\n")
     (out / "metrics_history.json").write_text(
         json.dumps(monitor.history.export_json(), indent=1))
+    folded = folded_stacks(q1_result.profiles)
+    folded_lines = check_folded(folded)
+    (out / "q1_flamegraph.folded").write_text(folded)
+    (out / "q1_profile.chrome.json").write_text(
+        profile_chrome_trace(q1_result.profiles))
     samples = check_prometheus_exposition(prom)
     # the workload-manager series must be part of the exposition
     for metric in ("admission_queue_depth", "queries_running",
@@ -200,10 +255,21 @@ def main(outdir: str) -> None:
           f"{monitor.health.evaluations()} rule evaluations")
     print("== slow query report ==")
     print(monitor.query_log.slow_report(5))
+    print("== hot paths (continuous profiler) ==")
+    print(cluster.profiler.report(10))
+    min_on, min_off = measure_profiler_overhead(cluster)
+    overhead = max(0.0, min_on / min_off - 1.0)
+    print(f"== profiler overhead ==\n  Q1 best-of-5: "
+          f"{min_on * 1e3:.2f}ms with kernels, {min_off * 1e3:.2f}ms "
+          f"without -> {100 * overhead:.2f}% overhead (budget 5%)")
+    assert overhead <= 0.05, (
+        f"profiler overhead {100 * overhead:.2f}% exceeds the 5% budget")
     print(f"\nmetrics.prom: {samples} samples, exposition OK "
           f"(incl. workload admission/running/wait series)")
+    print(f"q1_flamegraph.folded: {folded_lines} stacks, format OK")
     print(f"wrote {out}/q1_trace.json metrics.prom q1_explain.txt events.txt "
-          f"alerts.txt metrics_history.json")
+          f"alerts.txt metrics_history.json q1_flamegraph.folded "
+          f"q1_profile.chrome.json")
 
 
 if __name__ == "__main__":

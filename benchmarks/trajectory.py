@@ -23,6 +23,13 @@ the previous entry:
 * ``REPRO_TRAJ_CHECK=0`` records the entry without enforcing (useful
   while intentionally changing the cost model).
 
+When a bench with profiler detail (``operators.*`` / ``kernels.*`` keys,
+as ``BENCH_hotpath.json`` emits) regresses, the gate also *attributes*
+the failure: it diffs the per-operator/per-kernel cost keys between the
+two entries and prints which kernels slowed and by how much, so a
+``REGRESSION hotpath.queries.q1.sim_s`` line comes with the culprit
+(e.g. ``kernels.MScan.decode.pfor.sim_cost_s +120%``).
+
 Run from the repo root after the benches::
 
     PYTHONPATH=src python benchmarks/trajectory.py
@@ -133,6 +140,40 @@ def compare(new: Dict[str, dict], old: Dict[str, dict],
     return regressions, skipped
 
 
+#: flattened-key prefixes carrying per-operator/per-kernel profiler cost
+ATTRIBUTION_PREFIXES = ("operators.", "kernels.")
+
+
+def attribute_regressions(new_metrics: Dict[str, float],
+                          old_metrics: Dict[str, float],
+                          top: int = 5) -> List[dict]:
+    """Diff the profiler-attributed cost keys of one bench.
+
+    Returns the ``top`` biggest absolute increases among
+    ``operators.*`` / ``kernels.*`` time keys (``_s`` / ``_ms``),
+    each as {key, before, after, delta, ratio} -- the "which kernel
+    slowed, and by how much" answer for a failed gate.
+    """
+    increases: List[dict] = []
+    for key, after in new_metrics.items():
+        if not key.startswith(ATTRIBUTION_PREFIXES):
+            continue
+        leaf = key.rsplit(".", 1)[-1]
+        if not leaf.endswith(("_s", "_ms")) or "wall" in leaf:
+            continue
+        before = old_metrics.get(key)
+        if before is None:
+            continue
+        delta = after - before
+        if delta <= 0:
+            continue
+        ratio = after / before if before > 0 else float("inf")
+        increases.append({"key": key, "before": before, "after": after,
+                          "delta": delta, "ratio": ratio})
+    increases.sort(key=lambda e: (-e["delta"], e["key"]))
+    return increases[:top]
+
+
 def _git_sha() -> Optional[str]:
     try:
         out = subprocess.run(
@@ -175,6 +216,15 @@ def update_trajectory(results_dir: pathlib.Path = RESULTS_DIR,
     previous = entries[-1]["benches"] if entries else {}
     regressions, skipped = compare(benches, previous, tolerance)
 
+    # attribution: for each regressed bench, name the operator/kernel
+    # cost keys that slowed the most between the two entries
+    attribution: Dict[str, List[dict]] = {}
+    for bench in sorted({reg["bench"] for reg in regressions}):
+        culprits = attribute_regressions(
+            benches[bench]["metrics"], previous[bench]["metrics"])
+        if culprits:
+            attribution[bench] = culprits
+
     entry = {
         "recorded_at": time.strftime(
             "%Y-%m-%dT%H:%M:%SZ",
@@ -183,6 +233,7 @@ def update_trajectory(results_dir: pathlib.Path = RESULTS_DIR,
         "tolerance": tolerance,
         "benches": benches,
         "regressions": regressions,
+        "attribution": attribution,
     }
     entries = (entries + [entry])[-MAX_ENTRIES:]
     traj_path.write_text(json.dumps({"entries": entries}, indent=2))
@@ -197,6 +248,13 @@ def update_trajectory(results_dir: pathlib.Path = RESULTS_DIR,
         print(f"  REGRESSION {reg['bench']}.{reg['metric']}: "
               f"{reg['before']:.6g} -> {reg['after']:.6g} "
               f"(limit {reg['limit']:.6g}, {reg['direction']})")
+    for bench, culprits in attribution.items():
+        print(f"  attribution {bench}: slowest-growing operator/kernel keys")
+        for c in culprits:
+            pct = (f"+{100 * (c['ratio'] - 1):.0f}%"
+                   if c["ratio"] != float("inf") else "new")
+            print(f"    {c['key']}: {c['before']:.6g} -> "
+                  f"{c['after']:.6g} ({pct})")
     if regressions and check:
         print("trajectory: FAIL (set REPRO_TRAJ_CHECK=0 to record without "
               "enforcing)", file=sys.stderr)

@@ -126,6 +126,13 @@ class VectorHCluster:
             from repro.obs.monitor import FlightRecorder
             self.monitor = FlightRecorder(self)
             self.workload.round_hooks.append(self.monitor.tick)
+        #: the continuous profiler: every finished query's operator tree
+        #: folds into cumulative per-kind/per-kernel stats
+        self.profiler = None
+        if self.config.profiler_enabled:
+            from repro.obs.profiler import ContinuousProfiler
+            self.profiler = ContinuousProfiler(
+                self.registry, top_k=self.config.profiler_top_k)
         #: installed ChaosController when fault injection is active
         self.chaos = None
 

@@ -56,6 +56,13 @@ class Config:
     #: per-query cap on mid-query re-plans
     replan_max_per_query: int = 2
 
+    # --- continuous profiler (repro.obs.profiler) ---------------------------
+    #: aggregate every finished query's operator/kernel profile into
+    #: cumulative per-kind stats (vh$operator_stats / vh$hot_paths)
+    profiler_enabled: bool = True
+    #: default row count of the vh$hot_paths top-k view
+    profiler_top_k: int = 20
+
     # --- flight recorder (repro.obs.monitor) --------------------------------
     #: create a FlightRecorder on the cluster (sampler + alert engine +
     #: query log), ticking from the workload manager's round hooks

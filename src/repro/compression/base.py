@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.common.errors import CompressionError
 from repro.common.types import ColumnType
+from repro.engine.profile import kernel
 
 
 @dataclass
@@ -177,7 +178,11 @@ def decompress(block: CompressedBlock, ctype: ColumnType) -> np.ndarray:
     scheme = SCHEMES.get(block.scheme)
     if scheme is None:
         raise CompressionError(f"unknown scheme {block.scheme!r}")
-    return scheme.decompress(block, ctype)
+    # attributes to whichever operator is currently executing (usually a
+    # scan), nesting under its scan.read_block kernel
+    with kernel(f"decode.{block.scheme.lower()}",
+                rows=block.count, nbytes=len(block.data)):
+        return scheme.decompress(block, ctype)
 
 
 def pack_header(fmt: str, *fields) -> bytes:

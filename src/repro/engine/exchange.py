@@ -28,6 +28,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.engine.batch import Batch, batch_bytes
 from repro.engine.operators import Operator
+from repro.engine.profile import kernel
 from repro.net.mpi import DXchgChannel, MpiFabric
 
 STREAMING = "streaming"
@@ -391,13 +392,26 @@ class Exchange:
     def _finish(self) -> None:
         if self.finished:
             return
+        # attribute the end-of-stream flush to the first sender's profile
+        # explicitly: _finish may run from QueryRun.finish with no
+        # operator executing (hence no ambient sink), or from a receiver
+        # pump where the ambient sink would be the wrong operator
+        flush_node = self.senders[0].op.profile if self.senders else None
+        flushed = sum(ch.buffered for ch in self.channels.values())
+        if flush_node is not None:
+            with kernel("exchange.flush", nbytes=flushed, node=flush_node):
+                self._close_channels()
+        else:
+            self._close_channels()
+        self.finished = True
+        self._record_metrics()
+
+    def _close_channels(self) -> None:
         for chan in self.channels.values():
             released = chan.buffered
             chan.close()
             if released > 0 and not chan.local:
                 self.meter.release(chan.src, released)
-        self.finished = True
-        self._record_metrics()
 
     def drain_queues(self) -> None:
         """Discard undelivered queue contents, releasing their memory.
@@ -516,9 +530,13 @@ class DXchgSender(Operator):
 
     def _run(self):
         for batch in self.children[0].execute():
-            self.exchange.transfer(self.stream, batch)
-            if batch.n and self.profile is not None:
-                self.profile.net_bytes += batch_bytes(batch)
+            with kernel("exchange.serialize", rows=batch.n) as k:
+                self.exchange.transfer(self.stream, batch)
+                if batch.n:
+                    nb = batch_bytes(batch)
+                    k.account(nbytes=nb)
+                    if self.profile is not None:
+                        self.profile.net_bytes += nb
             yield batch
 
 

@@ -13,6 +13,8 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.engine.profile import kernel
+
 
 class Expr:
     """Base expression node."""
@@ -255,9 +257,10 @@ class Like(Expr):
     def eval(self, c):
         values = self.child.eval(c)
         match = self._regex.match
-        out = np.fromiter(
-            (match(v) is not None for v in values), np.bool_, len(values)
-        )
+        with kernel("expr.like", rows=len(values)):
+            out = np.fromiter(
+                (match(v) is not None for v in values), np.bool_, len(values)
+            )
         return np.logical_not(out) if self.negate else out
 
     def eval_row(self, r):
@@ -300,8 +303,9 @@ class ExtractYear(Expr):
 
     def eval(self, c):
         days = self.child.eval(c)
-        return (days.astype("datetime64[D]")
-                .astype("datetime64[Y]").astype(np.int64) + 1970)
+        with kernel("expr.extract_year", rows=len(days)):
+            return (days.astype("datetime64[D]")
+                    .astype("datetime64[Y]").astype(np.int64) + 1970)
 
     def eval_row(self, r):
         import datetime
@@ -326,7 +330,9 @@ class Substr(Expr):
         values = self.child.eval(c)
         lo = self.start - 1
         hi = lo + self.length
-        return np.fromiter((v[lo:hi] for v in values), object, len(values))
+        with kernel("expr.substr", rows=len(values)):
+            return np.fromiter(
+                (v[lo:hi] for v in values), object, len(values))
 
     def eval_row(self, r):
         v = self.child.eval_row(r)

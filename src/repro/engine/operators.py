@@ -21,9 +21,12 @@ from repro.engine.batch import (
     concat_batches,
 )
 from repro.engine.expressions import Expr
-from repro.engine.profile import ProfileNode
+from repro.engine.profile import ProfileNode, kernel, pop_sink, push_sink
 
 DEFAULT_VECTOR_SIZE = 1024
+
+#: sentinel distinguishing exhaustion from yielded items in execute()
+_DONE = object()
 
 
 class Operator:
@@ -51,24 +54,37 @@ class Operator:
         raise NotImplementedError
 
     def execute(self) -> Iterator[Batch]:
-        self.profile = ProfileNode(self.describe())
+        self.profile = prof = ProfileNode(self.describe())
         for child in self.children:
             child.profile = None  # filled when the child executes
         out_tuples = 0
-        start = _time.perf_counter()
-        for batch in self._run():
-            out_tuples += batch.n
-            self.profile.cum_time += _time.perf_counter() - start
-            yield batch
-            start = _time.perf_counter()
-        self.profile.cum_time += _time.perf_counter() - start
-        self.profile.tuples_out = out_tuples
-        self.profile.children = [
-            c.profile for c in self.children if c.profile is not None
-        ]
-        self.profile.tuples_in = sum(
-            c.tuples_out for c in self.profile.children
-        )
+        iterator = self._run()
+        try:
+            while True:
+                # the profile node is the ambient kernel sink exactly
+                # while _run's code executes (not while suspended at a
+                # yield): nested child pulls push their own sinks, so
+                # storage/compression kernels land on the right operator
+                start = _time.perf_counter()
+                push_sink(prof)
+                try:
+                    batch = next(iterator, _DONE)
+                finally:
+                    pop_sink()
+                    prof.cum_time += _time.perf_counter() - start
+                if batch is _DONE:
+                    break
+                out_tuples += batch.n
+                prof.batches += 1
+                yield batch
+        finally:
+            # also runs on cancel (generator close): totals stay honest
+            iterator.close()
+            prof.tuples_out = out_tuples
+            prof.children = [
+                c.profile for c in self.children if c.profile is not None
+            ]
+            prof.tuples_in = sum(c.tuples_out for c in prof.children)
 
     def run_to_batch(self) -> Batch:
         return concat_batches(self.execute())
@@ -111,7 +127,9 @@ class Select(Operator):
         yielded = False
         for batch in self.children[0].execute():
             template = batch
-            mask = np.asarray(self.predicate.eval(batch.columns), dtype=bool)
+            with kernel("select.predicate", rows=batch.n):
+                mask = np.asarray(self.predicate.eval(batch.columns),
+                                  dtype=bool)
             if mask.all():
                 yielded = yielded or batch.n > 0
                 yield batch
@@ -138,12 +156,13 @@ class Project(Operator):
     def _run(self):
         for batch in self.children[0].execute():
             cols = {}
-            for name, expr in self.outputs.items():
-                value = expr.eval(batch.columns)
-                if np.isscalar(value) or (isinstance(value, np.ndarray)
-                                          and value.ndim == 0):
-                    value = np.full(batch.n, value)
-                cols[name] = value
+            with kernel("project.eval", rows=batch.n):
+                for name, expr in self.outputs.items():
+                    value = expr.eval(batch.columns)
+                    if np.isscalar(value) or (isinstance(value, np.ndarray)
+                                              and value.ndim == 0):
+                        value = np.full(batch.n, value)
+                    cols[name] = value
             yield Batch(cols, batch.n)
 
 
@@ -191,40 +210,43 @@ class HashAggr(Operator):
         single_key = len(self.group_by) == 1
 
         for batch in self.children[0].execute():
-            if self.group_by:
-                if single_key:
-                    col = batch.columns[self.group_by[0]]
-                    uniq, inverse = np.unique(col, return_inverse=True)
-                    local_keys = [(v,) for v in uniq.tolist()]
+            with kernel("aggr.group", rows=batch.n):
+                if self.group_by:
+                    if single_key:
+                        col = batch.columns[self.group_by[0]]
+                        uniq, inverse = np.unique(col, return_inverse=True)
+                        local_keys = [(v,) for v in uniq.tolist()]
+                    else:
+                        packed = np.empty(batch.n, dtype=object)
+                        packed[:] = list(zip(*(
+                            batch.columns[k].tolist() for k in self.group_by
+                        )))
+                        uniq, inverse = np.unique(packed, return_inverse=True)
+                        local_keys = list(uniq)
                 else:
-                    packed = np.empty(batch.n, dtype=object)
-                    packed[:] = list(zip(*(
-                        batch.columns[k].tolist() for k in self.group_by
-                    )))
-                    uniq, inverse = np.unique(packed, return_inverse=True)
-                    local_keys = list(uniq)
-            else:
-                inverse = np.zeros(batch.n, dtype=np.int64)
-                local_keys = [()]
+                    inverse = np.zeros(batch.n, dtype=np.int64)
+                    local_keys = [()]
 
-            # Map local group ids to global ids (few lookups per batch).
-            local_to_global = np.empty(len(local_keys), dtype=np.int64)
-            for i, key in enumerate(local_keys):
-                gid = key_index.get(key)
-                if gid is None:
-                    gid = len(key_index)
-                    key_index[key] = gid
-                    for pos, part in enumerate(key):
-                        keys_store[pos].append(part)
-                    for state in states:
-                        _state_new_group(state)
-                local_to_global[i] = gid
-            gids = local_to_global[inverse]
+                # Map local group ids to global ids (few lookups per batch).
+                local_to_global = np.empty(len(local_keys), dtype=np.int64)
+                for i, key in enumerate(local_keys):
+                    gid = key_index.get(key)
+                    if gid is None:
+                        gid = len(key_index)
+                        key_index[key] = gid
+                        for pos, part in enumerate(key):
+                            keys_store[pos].append(part)
+                        for state in states:
+                            _state_new_group(state)
+                    local_to_global[i] = gid
+                gids = local_to_global[inverse]
 
             n_groups = len(key_index)
-            for (name, func, expr), state in zip(self.aggregates, states):
-                values = expr.eval(batch.columns) if expr is not None else None
-                _accumulate(state, func, gids, values, n_groups, batch.n)
+            with kernel("aggr.accumulate", rows=batch.n):
+                for (name, func, expr), state in zip(self.aggregates, states):
+                    values = (expr.eval(batch.columns)
+                              if expr is not None else None)
+                    _accumulate(state, func, gids, values, n_groups, batch.n)
 
         n_groups = len(key_index)
         if n_groups == 0 and not self.group_by:
@@ -235,16 +257,17 @@ class HashAggr(Operator):
             n_groups = 1
 
         out: Dict[str, np.ndarray] = {}
-        for pos, key_col in enumerate(self.group_by):
-            values = keys_store[pos]
-            if values and isinstance(values[0], str):
-                arr = np.empty(len(values), dtype=object)
-                arr[:] = values
-            else:
-                arr = np.asarray(values)
-            out[key_col] = arr
-        for (name, func, _), state in zip(self.aggregates, states):
-            out[name] = _finalize(state, func, n_groups)
+        with kernel("aggr.finalize", rows=n_groups):
+            for pos, key_col in enumerate(self.group_by):
+                values = keys_store[pos]
+                if values and isinstance(values[0], str):
+                    arr = np.empty(len(values), dtype=object)
+                    arr[:] = values
+                else:
+                    arr = np.asarray(values)
+                out[key_col] = arr
+            for (name, func, _), state in zip(self.aggregates, states):
+                out[name] = _finalize(state, func, n_groups)
         yield from batches_from_columns(out, DEFAULT_VECTOR_SIZE)
 
 
@@ -379,86 +402,98 @@ class HashJoin(Operator):
         bkey = build.columns.get(self.build_keys[0]) if build.n else None
         if bkey is None:
             bkey = np.empty(0, dtype=np.int64)
-        order = np.argsort(bkey, kind="stable")
-        sorted_keys = bkey[order]
+        with kernel("join.build", rows=build.n):
+            order = np.argsort(bkey, kind="stable")
+            sorted_keys = bkey[order]
         pk_name = self.probe_keys[0]
         for batch in self.children[1].execute():
-            pkey = batch.columns[pk_name]
-            starts = np.searchsorted(sorted_keys, pkey, side="left")
-            ends = np.searchsorted(sorted_keys, pkey, side="right")
-            counts = ends - starts
-            if self.join_type == "semi":
-                yield batch.select(counts > 0)
-                continue
-            if self.join_type == "anti":
-                yield batch.select(counts == 0)
-                continue
-            total = int(counts.sum())
-            probe_idx = np.repeat(np.arange(batch.n), counts)
-            base = np.repeat(np.cumsum(counts) - counts, counts)
-            within = np.arange(total) - base
-            build_rows = order[np.repeat(starts, counts) + within]
-            out = {k: v[probe_idx] for k, v in batch.columns.items()}
-            for name in payload:
-                out[name] = build.columns[name][build_rows]
-            if self.join_type == "left":
-                unmatched = counts == 0
-                if unmatched.any():
-                    miss = {k: v[unmatched] for k, v in batch.columns.items()}
-                    for name in payload:
-                        miss[name] = _fill_like(build.columns[name],
-                                                int(unmatched.sum()))
-                    miss["__matched"] = np.zeros(int(unmatched.sum()), bool)
-                    out["__matched"] = np.ones(total, bool)
-                    yield Batch(out, total)
-                    yield Batch(miss, int(unmatched.sum()))
-                    continue
+            # probe work happens inside the kernel; the yields stay
+            # outside so the frame never spans a generator suspension
+            with kernel("join.probe", rows=batch.n):
+                out_batches = self._probe_single_key(
+                    batch, build, payload, pk_name, sorted_keys, order)
+            yield from out_batches
+
+    def _probe_single_key(self, batch: Batch, build: Batch,
+                          payload: Sequence[str], pk_name: str,
+                          sorted_keys: np.ndarray,
+                          order: np.ndarray) -> List[Batch]:
+        pkey = batch.columns[pk_name]
+        starts = np.searchsorted(sorted_keys, pkey, side="left")
+        ends = np.searchsorted(sorted_keys, pkey, side="right")
+        counts = ends - starts
+        if self.join_type == "semi":
+            return [batch.select(counts > 0)]
+        if self.join_type == "anti":
+            return [batch.select(counts == 0)]
+        total = int(counts.sum())
+        probe_idx = np.repeat(np.arange(batch.n), counts)
+        base = np.repeat(np.cumsum(counts) - counts, counts)
+        within = np.arange(total) - base
+        build_rows = order[np.repeat(starts, counts) + within]
+        out = {k: v[probe_idx] for k, v in batch.columns.items()}
+        for name in payload:
+            out[name] = build.columns[name][build_rows]
+        if self.join_type == "left":
+            unmatched = counts == 0
+            if unmatched.any():
+                miss = {k: v[unmatched] for k, v in batch.columns.items()}
+                for name in payload:
+                    miss[name] = _fill_like(build.columns[name],
+                                            int(unmatched.sum()))
+                miss["__matched"] = np.zeros(int(unmatched.sum()), bool)
                 out["__matched"] = np.ones(total, bool)
-            yield Batch(out, total)
+                return [Batch(out, total), Batch(miss, int(unmatched.sum()))]
+            out["__matched"] = np.ones(total, bool)
+        return [Batch(out, total)]
 
     # -- generic (composite / string key) path ---------------------------------
 
     def _run_generic(self, build: Batch, payload: Sequence[str]):
         table: Dict[tuple, List[int]] = {}
-        if build.n:
-            key_cols = [build.columns[k].tolist() for k in self.build_keys]
-            for row, key in enumerate(zip(*key_cols)):
-                table.setdefault(key, []).append(row)
+        with kernel("join.build", rows=build.n):
+            if build.n:
+                key_cols = [build.columns[k].tolist() for k in self.build_keys]
+                for row, key in enumerate(zip(*key_cols)):
+                    table.setdefault(key, []).append(row)
         for batch in self.children[1].execute():
-            key_cols = [batch.columns[k].tolist() for k in self.probe_keys]
-            probe_idx: List[int] = []
-            build_idx: List[int] = []
-            matched = np.zeros(batch.n, dtype=bool)
-            for row, key in enumerate(zip(*key_cols)):
-                rows = table.get(key)
-                if rows:
-                    matched[row] = True
-                    probe_idx.extend([row] * len(rows))
-                    build_idx.extend(rows)
-            if self.join_type == "semi":
-                yield batch.select(matched)
-                continue
-            if self.join_type == "anti":
-                yield batch.select(~matched)
-                continue
-            pidx = np.asarray(probe_idx, dtype=np.int64)
-            bidx = np.asarray(build_idx, dtype=np.int64)
-            out = {k: v[pidx] for k, v in batch.columns.items()}
-            for name in payload:
-                out[name] = build.columns[name][bidx]
-            if self.join_type == "left":
-                out["__matched"] = np.ones(len(pidx), bool)
-                unmatched = ~matched
-                if unmatched.any():
-                    miss = {k: v[unmatched] for k, v in batch.columns.items()}
-                    for name in payload:
-                        miss[name] = _fill_like(build.columns[name],
-                                                int(unmatched.sum()))
-                    miss["__matched"] = np.zeros(int(unmatched.sum()), bool)
-                    yield Batch(out, len(pidx))
-                    yield Batch(miss, int(unmatched.sum()))
-                    continue
-            yield Batch(out, len(pidx))
+            with kernel("join.probe", rows=batch.n):
+                out_batches = self._probe_generic(batch, build, payload, table)
+            yield from out_batches
+
+    def _probe_generic(self, batch: Batch, build: Batch,
+                       payload: Sequence[str],
+                       table: Dict[tuple, List[int]]) -> List[Batch]:
+        key_cols = [batch.columns[k].tolist() for k in self.probe_keys]
+        probe_idx: List[int] = []
+        build_idx: List[int] = []
+        matched = np.zeros(batch.n, dtype=bool)
+        for row, key in enumerate(zip(*key_cols)):
+            rows = table.get(key)
+            if rows:
+                matched[row] = True
+                probe_idx.extend([row] * len(rows))
+                build_idx.extend(rows)
+        if self.join_type == "semi":
+            return [batch.select(matched)]
+        if self.join_type == "anti":
+            return [batch.select(~matched)]
+        pidx = np.asarray(probe_idx, dtype=np.int64)
+        bidx = np.asarray(build_idx, dtype=np.int64)
+        out = {k: v[pidx] for k, v in batch.columns.items()}
+        for name in payload:
+            out[name] = build.columns[name][bidx]
+        if self.join_type == "left":
+            out["__matched"] = np.ones(len(pidx), bool)
+            unmatched = ~matched
+            if unmatched.any():
+                miss = {k: v[unmatched] for k, v in batch.columns.items()}
+                for name in payload:
+                    miss[name] = _fill_like(build.columns[name],
+                                            int(unmatched.sum()))
+                miss["__matched"] = np.zeros(int(unmatched.sum()), bool)
+                return [Batch(out, len(pidx)), Batch(miss, int(unmatched.sum()))]
+        return [Batch(out, len(pidx))]
 
 
 def _fill_like(column: np.ndarray, n: int) -> np.ndarray:
@@ -497,19 +532,20 @@ class MergeJoin(Operator):
                     out[name] = values[:0]
             yield Batch(out, 0)
             return
-        lk = left.columns[self.left_key]
-        rk = right.columns[self.right_key]
-        starts = np.searchsorted(rk, lk, side="left")
-        ends = np.searchsorted(rk, lk, side="right")
-        counts = ends - starts
-        total = int(counts.sum())
-        left_idx = np.repeat(np.arange(left.n), counts)
-        base = np.repeat(np.cumsum(counts) - counts, counts)
-        right_idx = np.repeat(starts, counts) + (np.arange(total) - base)
-        out = {k: v[left_idx] for k, v in left.columns.items()}
-        for name, values in right.columns.items():
-            if name not in out:
-                out[name] = values[right_idx]
+        with kernel("join.merge", rows=left.n + right.n):
+            lk = left.columns[self.left_key]
+            rk = right.columns[self.right_key]
+            starts = np.searchsorted(rk, lk, side="left")
+            ends = np.searchsorted(rk, lk, side="right")
+            counts = ends - starts
+            total = int(counts.sum())
+            left_idx = np.repeat(np.arange(left.n), counts)
+            base = np.repeat(np.cumsum(counts) - counts, counts)
+            right_idx = np.repeat(starts, counts) + (np.arange(total) - base)
+            out = {k: v[left_idx] for k, v in left.columns.items()}
+            for name, values in right.columns.items():
+                if name not in out:
+                    out[name] = values[right_idx]
         yield from batches_from_columns(out, DEFAULT_VECTOR_SIZE)
 
 
@@ -553,10 +589,10 @@ class Sort(Operator):
         if data.n == 0:
             yield data
             return
-        order = stable_order(data.columns, self.keys, self.ascending)
-        yield from batches_from_columns(
-            {k: v[order] for k, v in data.columns.items()}, DEFAULT_VECTOR_SIZE
-        )
+        with kernel("sort.order", rows=data.n):
+            order = stable_order(data.columns, self.keys, self.ascending)
+            ordered = {k: v[order] for k, v in data.columns.items()}
+        yield from batches_from_columns(ordered, DEFAULT_VECTOR_SIZE)
 
 
 class TopN(Operator):
@@ -580,9 +616,11 @@ class TopN(Operator):
         if data.n == 0:
             yield data
             return
-        order = stable_order(data.columns, self.keys, self.ascending)[: self.n]
-        yield Batch({k: v[order] for k, v in data.columns.items()},
-                    len(order))
+        with kernel("topn.order", rows=data.n):
+            order = stable_order(
+                data.columns, self.keys, self.ascending)[: self.n]
+            out = {k: v[order] for k, v in data.columns.items()}
+        yield Batch(out, len(order))
 
 
 class UnionAll(Operator):

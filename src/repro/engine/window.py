@@ -26,6 +26,7 @@ from repro.engine.operators import (
     Operator,
     stable_order,
 )
+from repro.engine.profile import kernel
 
 #: (output name, function, input expression or None)
 WindowSpec = Tuple[str, str, Optional[Expr]]
@@ -67,22 +68,24 @@ class Window(Operator):
                 out[name] = np.empty(0)
             yield Batch(out, 0)
             return
-        keys = self.partition_by + self.order_by
-        asc = [True] * len(self.partition_by) + self.ascending
-        order = (stable_order(data.columns, keys, asc) if keys
-                 else np.arange(data.n))
-        cols = {k: v[order] for k, v in data.columns.items()}
-        starts = _partition_starts(cols, self.partition_by, data.n)
-        group_ids = np.zeros(data.n, dtype=np.int64)
-        group_ids[starts[1:]] = 1
-        group_ids = np.cumsum(group_ids)
-        group_sizes = np.diff(np.append(starts, data.n))
+        with kernel("window.order", rows=data.n):
+            keys = self.partition_by + self.order_by
+            asc = [True] * len(self.partition_by) + self.ascending
+            order = (stable_order(data.columns, keys, asc) if keys
+                     else np.arange(data.n))
+            cols = {k: v[order] for k, v in data.columns.items()}
+            starts = _partition_starts(cols, self.partition_by, data.n)
+            group_ids = np.zeros(data.n, dtype=np.int64)
+            group_ids[starts[1:]] = 1
+            group_ids = np.cumsum(group_ids)
+            group_sizes = np.diff(np.append(starts, data.n))
 
-        for name, func, expr in self.functions:
-            values = (np.asarray(expr.eval(cols), dtype=np.float64)
-                      if expr is not None else None)
-            cols[name] = _compute(func, values, cols, self, group_ids,
-                                  starts, group_sizes, data.n)
+        with kernel("window.eval", rows=data.n):
+            for name, func, expr in self.functions:
+                values = (np.asarray(expr.eval(cols), dtype=np.float64)
+                          if expr is not None else None)
+                cols[name] = _compute(func, values, cols, self, group_ids,
+                                      starts, group_sizes, data.n)
         yield from batches_from_columns(cols, DEFAULT_VECTOR_SIZE)
 
 

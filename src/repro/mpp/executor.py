@@ -399,6 +399,9 @@ class QueryRun:
             exchanges=[ex.stats() for ex in self.ctx.exchange_order],
             rounds=self.rounds,
         )
+        profiler = getattr(self.cluster, "profiler", None)
+        if profiler is not None:
+            profiler.observe_query(self._result)
         self.ctx.meter.detach()
         return self._result
 

@@ -10,6 +10,10 @@
 * :class:`ClusterEventLog` / :class:`Event` -- append-only log of
   irregular cluster facts (failures, re-replication, preemption, 2PC
   outcomes, DDL), queryable through the ``vh$events`` system table.
+* :class:`ContinuousProfiler` -- always-on aggregation of per-operator /
+  per-kernel execution profiles (``vh$operator_stats``, ``vh$hot_paths``)
+  with flamegraph (:func:`folded_stacks`) and Chrome-trace
+  (:func:`profile_chrome_trace`) exports.
 
 ``repro.obs.introspect`` (system tables + EXPLAIN ANALYZE) depends on the
 storage/mpp layers and is therefore *not* imported here; import it
@@ -36,6 +40,13 @@ from repro.obs.monitor import (
     default_rules,
     sql_fingerprint,
 )
+from repro.obs.profiler import (
+    ContinuousProfiler,
+    dominant_operator,
+    folded_stacks,
+    operator_kind,
+    profile_chrome_trace,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     SimClock,
@@ -48,6 +59,7 @@ __all__ = [
     "Alert",
     "AlertRule",
     "ClusterEventLog",
+    "ContinuousProfiler",
     "Counter",
     "Event",
     "FlightRecorder",
@@ -64,6 +76,10 @@ __all__ = [
     "Span",
     "Tracer",
     "default_rules",
+    "dominant_operator",
+    "folded_stacks",
+    "operator_kind",
+    "profile_chrome_trace",
     "quantile_from_buckets",
     "span_from_profile",
     "sql_fingerprint",

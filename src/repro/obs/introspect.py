@@ -2,14 +2,15 @@
 
 The cluster describes itself through its own SQL engine:
 
-* **System tables** -- :class:`SystemCatalog` registers thirteen virtual
+* **System tables** -- :class:`SystemCatalog` registers fifteen virtual
   ``vh$`` tables (:data:`SYSTEM_TABLES`) whose partitions are live
   snapshots of the metrics registry, the HDFS block map, per-column
   compression statistics, PDT overlay sizes, the cluster event log, the
   workload manager's query/session records (including queued, running
   and cancelled queries), the chaos controller's fault plan, the
-  cardinality feedback store, and the flight recorder's sampled metric
-  history, alert ledger and persistent query log. A :class:`VirtualTable` quacks like a
+  cardinality feedback store, the flight recorder's sampled metric
+  history, alert ledger and persistent query log, and the continuous
+  profiler's per-operator stats and top-k hot paths. A :class:`VirtualTable` quacks like a
   :class:`~repro.storage.table.StoredTable` (schema, replication,
   ``scan_partition``), so the binder, rewriter and streaming executor
   treat them exactly like replicated base tables -- a ``SELECT`` against
@@ -292,6 +293,27 @@ def _query_log_rows(cluster) -> List[tuple]:
     return monitor.query_log.rows()
 
 
+def _operator_stats_rows(cluster) -> List[tuple]:
+    """The continuous profiler's cumulative per-operator-kind stats.
+
+    Columns through ``sim_cost_s`` are deterministic (bit-identical
+    across same-seed runs); ``wall_s`` / ``rows_per_s`` are real
+    wall-clock measurements.
+    """
+    profiler = getattr(cluster, "profiler", None)
+    if profiler is None:
+        return []
+    return profiler.rows()
+
+
+def _hot_paths_rows(cluster) -> List[tuple]:
+    """Top-k (operator, kernel) pairs ranked by deterministic sim cost."""
+    profiler = getattr(cluster, "profiler", None)
+    if profiler is None:
+        return []
+    return profiler.hot_paths()
+
+
 def _plan_feedback_rows(cluster) -> List[tuple]:
     """The cardinality feedback store: what the rewriter remembers."""
     store = getattr(cluster, "feedback", None)
@@ -371,8 +393,20 @@ SYSTEM_TABLES = (
       ("fingerprint", STRING), ("plan", STRING), ("statement", STRING),
       ("wall_ms", FLOAT64), ("sim_ms", FLOAT64), ("wait_ms", FLOAT64),
       ("rows", INT64), ("peak_memory", INT64), ("wire_bytes", INT64),
-      ("retries", INT64), ("replans", INT64), ("max_qerror", FLOAT64)],
+      ("retries", INT64), ("replans", INT64), ("max_qerror", FLOAT64),
+      ("dominant", STRING), ("dominant_share", FLOAT64)],
      _query_log_rows),
+    ("vh$operator_stats",
+     [("operator", STRING), ("queries", INT64), ("instances", INT64),
+      ("rows_in", INT64), ("rows_out", INT64), ("batches", INT64),
+      ("net_bytes", INT64), ("sim_cost_s", FLOAT64),
+      ("wall_s", FLOAT64), ("rows_per_s", FLOAT64)],
+     _operator_stats_rows),
+    ("vh$hot_paths",
+     [("rank", INT64), ("operator", STRING), ("kernel", STRING),
+      ("calls", INT64), ("rows", INT64), ("bytes", INT64),
+      ("sim_cost_s", FLOAT64), ("wall_s", FLOAT64), ("share", FLOAT64)],
+     _hot_paths_rows),
 )
 
 

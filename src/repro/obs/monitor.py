@@ -96,7 +96,11 @@ def _labels_text(pairs: Tuple[Tuple[str, str], ...]) -> str:
 #: registry families measured on the *wall* clock, not the simulated
 #: one: their values vary run-to-run even under workload_deterministic,
 #: so the history skips them to keep same-seed samples bit-identical
-WALL_CLOCK_FAMILIES = frozenset({"executor_stream_seconds"})
+WALL_CLOCK_FAMILIES = frozenset({
+    "executor_stream_seconds",
+    "operator_wall_seconds_total",
+    "kernel_wall_seconds_total",
+})
 
 
 class MetricsHistory:
@@ -630,6 +634,10 @@ class QueryLogRecord:
     retries: int
     replans: int
     max_qerror: float
+    #: operator kind dominating the query's deterministic sim cost
+    dominant_op: str = ""
+    #: that operator's share of the query's total sim cost (0..1)
+    dominant_share: float = 0.0
 
 
 class QueryLog:
@@ -678,7 +686,8 @@ class QueryLog:
             (r.query_id, r.session_id, r.state, r.fingerprint,
              r.plan_signature, r.statement, r.wall_s * 1e3, r.sim_s * 1e3,
              r.wait_s * 1e3, r.rows, r.peak_memory_bytes, r.wire_bytes,
-             r.retries, r.replans, r.max_qerror)
+             r.retries, r.replans, r.max_qerror,
+             r.dominant_op, r.dominant_share)
             for r in self._records
         ]
 
@@ -689,13 +698,15 @@ class QueryLog:
         worst = sorted(self._records, key=lambda r: (-r.sim_s, r.query_id))
         lines = [f"{'query':>6} {'state':<9} {'sim':>10} {'wall':>10} "
                  f"{'wait':>10} {'rows':>8} {'peak mem':>10} {'q-err':>6} "
-                 "fingerprint"]
+                 f"{'dominant':<18} fingerprint"]
         for r in worst[:n]:
+            dominant = (f"{r.dominant_op} {100 * r.dominant_share:.0f}%"
+                        if r.dominant_op else "-")
             lines.append(
                 f"{r.query_id:>6} {r.state:<9} {r.sim_s * 1e3:>8.3f}ms "
                 f"{r.wall_s * 1e3:>8.3f}ms {r.wait_s * 1e3:>8.3f}ms "
                 f"{r.rows:>8} {r.peak_memory_bytes:>10} "
-                f"{r.max_qerror:>6.1f} {r.fingerprint}")
+                f"{r.max_qerror:>6.1f} {dominant:<18} {r.fingerprint}")
         return "\n".join(lines)
 
     def fingerprint_stats(self) -> Dict[str, dict]:
@@ -839,6 +850,14 @@ class FlightRecorder:
                 max_qerror = _max_qerror(phys, annotations, result.profiles)
             except Exception:  # noqa: BLE001 - diagnostics must not fail
                 max_qerror = 0.0
+        dominant_op, dominant_share = "", 0.0
+        if result is not None and result.profiles:
+            try:
+                from repro.obs.profiler import dominant_operator
+                dominant_op, dominant_share = dominant_operator(
+                    result.profiles)
+            except Exception:  # noqa: BLE001 - diagnostics must not fail
+                dominant_op, dominant_share = "", 0.0
         # programmatic submissions carry no SQL text: fingerprint the
         # normalized plan signature so distinct plans stay distinct
         fp_source = record.statement or plan_signature or statement
@@ -860,6 +879,8 @@ class FlightRecorder:
             retries=record.retries,
             replans=(result.replans if result is not None else 0),
             max_qerror=max_qerror,
+            dominant_op=dominant_op,
+            dominant_share=dominant_share,
         )
         self.query_log.append(log_record)
         return log_record

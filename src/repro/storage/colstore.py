@@ -24,6 +24,7 @@ from repro.common.config import Config
 from repro.common.errors import StorageError
 from repro.common.types import ColumnType
 from repro.compression import CompressedBlock, compress_best, decompress
+from repro.engine.profile import kernel
 from repro.hdfs.cluster import HdfsCluster
 from repro.storage.buffer import BufferPool
 from repro.storage.minmax import MinMaxIndex
@@ -219,18 +220,22 @@ class PartitionStore:
 
     def _read_block(self, ref: BlockRef, reader: Optional[str] = None,
                     pool: Optional[BufferPool] = None) -> np.ndarray:
-        if pool is not None:
-            raw = pool.read(ref.path, ref.offset, ref.length, reader)
-        else:
-            raw = self.hdfs.read(ref.path, ref.offset, ref.length, reader)
-        scheme_id, count, payload_len = struct.unpack(
-            _BLOCK_HEADER, raw[: struct.calcsize(_BLOCK_HEADER)]
-        )
-        payload = raw[struct.calcsize(_BLOCK_HEADER):]
-        if len(payload) != payload_len:
-            raise StorageError(f"corrupt block in {ref.path}@{ref.offset}")
-        block = CompressedBlock(_SCHEME_NAMES[scheme_id], count, payload)
-        return decompress(block, self.schema.ctype(ref.column))
+        with kernel("scan.read_block", nbytes=ref.length) as k:
+            if pool is not None:
+                raw = pool.read(ref.path, ref.offset, ref.length, reader)
+            else:
+                raw = self.hdfs.read(ref.path, ref.offset, ref.length, reader)
+            scheme_id, count, payload_len = struct.unpack(
+                _BLOCK_HEADER, raw[: struct.calcsize(_BLOCK_HEADER)]
+            )
+            payload = raw[struct.calcsize(_BLOCK_HEADER):]
+            if len(payload) != payload_len:
+                raise StorageError(f"corrupt block in {ref.path}@{ref.offset}")
+            k.account(rows=count)
+            block = CompressedBlock(_SCHEME_NAMES[scheme_id], count, payload)
+            # the nested decode.<scheme> kernel subtracts itself from this
+            # frame, so read_block seconds stay IO+header-only
+            return decompress(block, self.schema.ctype(ref.column))
 
     def read_column(self, name: str,
                     ranges: Optional[Sequence[Tuple[int, int]]] = None,

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.common.config import Config
 from repro.common.errors import StorageError
+from repro.engine.profile import kernel
 from repro.hdfs.cluster import HdfsCluster
 from repro.pdt.layer import apply_entries, classify_entries
 from repro.pdt.stack import PdtStack, TransPdt
@@ -236,9 +237,10 @@ class StoredTable:
         """
         store = self.partitions[pid]
         entries = self.pdt[pid].scan_entries(trans)
-        ranges = store.minmax.qualifying_ranges(
-            self._storage_predicates(predicates), store.n_stable
-        )
+        with kernel("scan.minmax"):
+            ranges = store.minmax.qualifying_ranges(
+                self._storage_predicates(predicates), store.n_stable
+            )
 
         needed = list(dict.fromkeys(columns))
         if predicates:
@@ -271,8 +273,10 @@ class StoredTable:
             # full-range, transaction-free scan: reuse the classified plan
             # until the next commit bumps the stack version
             plan = self._merge_plan(pid)
-        merged = apply_entries(stable_cols, sub_n, remapped, needed,
-                               plan=plan)
+        with kernel("scan.pdt_merge") as k:
+            merged = apply_entries(stable_cols, sub_n, remapped, needed,
+                                   plan=plan)
+            k.account(rows=merged.n_rows)
         identities = _restore_identities(merged.identities, ranges, offsets)
         result = ScanResult(merged.columns, identities, merged.n_rows)
         if may_disorder:
