@@ -1,0 +1,342 @@
+"""Serving benchmark: multi-tenant fairness and the snapshot-epoch caches.
+
+Drives 1200 simulated clients -- each its own server connection --
+across three tenants with 2:1:1 weights (client counts skewed the same
+way) against a saturated 4-node cluster:
+
+* **fairness phase** -- 900 clients submit distinct single-table
+  aggregations (no cache hits possible), 8 core slots, so the WFQ
+  scheduler is the only thing deciding who runs. Over the saturated
+  window (every tenant still backlogged) the admitted-throughput
+  ratios must match the 2:1:1 weights within 15%, and the Jain
+  fairness index must be >=0.9 both across weight-normalized tenant
+  throughput and across per-client completion within each tenant.
+* **cache phase** -- 300 more clients replay three hot statements
+  (half simple protocol, half prepared parse/bind/execute), measuring
+  result- and plan-cache hit rates.
+* **epoch phase** -- a cold run, a cache hit (asserted bit-identical),
+  a committing writer bumping the table's epoch, and the forced
+  recompute at the new epoch.
+
+The whole scenario runs twice with the same seed; admission order,
+``vh$tenants`` contents and the final sim clock must be bit-identical.
+
+Reports per-tenant admitted counts, p50/p95 simulated latency and
+cache hit rates; writes ``serving_report.txt`` and machine-readable
+``BENCH_serving.json`` under ``benchmarks/results/`` (CI uploads both).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from benchmarks.conftest import RESULTS_DIR, SCALE_FACTOR, write_report
+from repro.common.config import Config
+from repro.common.types import INT64
+from repro.cluster import VectorHCluster
+from repro.sql import execute_sql
+from repro.storage import Column, TableSchema
+
+N_WORKERS = 4
+CORE_SLOTS = 8
+N_ROWS = max(2000, int(800_000 * SCALE_FACTOR))
+
+#: (tenant, WFQ weight, fairness-phase clients, cache-phase clients)
+TENANTS = (
+    ("gold", 2, 450, 150),
+    ("silver", 1, 270, 90),
+    ("bronze", 1, 180, 60),
+)
+N_CLIENTS = sum(t[2] + t[3] for t in TENANTS)
+
+HOT_SQL = (
+    "SELECT sum(b) AS s FROM t WHERE a < 1000",
+    "SELECT sum(b) AS s FROM t WHERE a < 2000",
+    "SELECT sum(b) AS s FROM t",
+)
+HOT_TEMPLATE = "SELECT sum(b) AS s FROM t WHERE a < $1"
+HOT_PARAMS = ((1000,), (2000,), (3000,))
+
+LATENCY_BUCKETS = tuple(10 ** (i / 8) for i in range(-48, 17))
+
+
+def _jain(values) -> float:
+    x = np.asarray(list(values), dtype=float)
+    if x.size == 0 or x.sum() == 0:
+        return 1.0
+    return float(x.sum() ** 2 / (x.size * (x * x).sum()))
+
+
+def _serving_cluster() -> VectorHCluster:
+    config = Config().scaled_for_tests()
+    config.workload_deterministic = True
+    config.workload_max_concurrent = CORE_SLOTS
+    c = VectorHCluster(n_nodes=N_WORKERS, config=config)
+    c.create_table(TableSchema(
+        "t", [Column("a", INT64), Column("b", INT64)],
+        partition_key=("a",), n_partitions=2 * N_WORKERS,
+        clustered_on=("a",)))
+    a = np.arange(N_ROWS)
+    c.bulk_load("t", {"a": a, "b": a % 7})
+    return c
+
+
+def _run_scenario() -> dict:
+    c = _serving_cluster()
+    srv = c.serve()
+    for name, weight, _, _ in TENANTS:
+        srv.add_tenant(name, weight=weight)
+
+    # -- fairness phase: one distinct query per client, all backlogged
+    clients, handles = [], []
+    for name, _, n_fair, _ in TENANTS:
+        for i in range(n_fair):
+            conn = srv.connect(tenant=name)
+            handles.append(conn.query_async(
+                f"SELECT sum(b) AS s FROM t WHERE a < {100 + i}"))
+            clients.append(conn)
+    srv.drain()
+    for handle in handles:
+        handle.result()
+    admitted = [(e.attrs["query"], e.attrs["tenant"])
+                for e in c.events if e.kind == "query.admitted"]
+
+    # the saturated window: admissions while every tenant still has a
+    # backlog (total demand is skewed 2.5:1.5:1, so under 2:1:1 service
+    # bronze's queue is the first to empty)
+    backlog = {name: n for name, _, n, _ in TENANTS}
+    window = {name: 0 for name in backlog}
+    for _, tenant in admitted:
+        if min(backlog.values()) <= 0:
+            break
+        window[tenant] += 1
+        backlog[tenant] -= 1
+    fair_admitted = {name: sum(1 for _, t in admitted if t == name)
+                     for name in window}
+
+    # per-client completion within each tenant (starvation check)
+    completion = {
+        name: _jain([1.0 if not conn.inflight else 0.0
+                     for conn in clients if conn.tenant == name])
+        for name in window
+    }
+
+    # -- cache phase: a warm connection plans and executes each hot
+    # statement cold; re-running the prepared params after clearing the
+    # result cache exercises the plan cache, and refills the result
+    # cache so the 300 replay clients below are answered without
+    # touching the executor at all
+    warm = srv.connect(tenant="gold")
+    warm.parse("hot", HOT_TEMPLATE)
+    for params in HOT_PARAMS:
+        warm.bind("hot", params)
+        warm.execute()
+    srv.result_cache.clear()
+    plan_hits_before = srv.plan_cache.hits
+    for params in HOT_PARAMS:
+        warm.bind("hot", params)
+        warm.execute()
+    plan_hits = srv.plan_cache.hits - plan_hits_before
+    for sql in HOT_SQL:
+        warm.simple_query(sql)
+    hot_handles = []
+    for name, _, _, n_cache in TENANTS:
+        for i in range(n_cache):
+            conn = srv.connect(tenant=name)
+            if i % 2 == 0:
+                hot_handles.append(
+                    conn.query_async(HOT_SQL[i % len(HOT_SQL)]))
+            else:
+                conn.parse("hot", HOT_TEMPLATE)
+                conn.bind("hot", HOT_PARAMS[i % len(HOT_PARAMS)])
+                hot_handles.append(conn.execute_async())
+    srv.drain()
+    replay_hits = sum(1 for handle in hot_handles if handle.cached)
+    for handle in hot_handles:
+        handle.result()
+    result_stats = srv.result_cache.stats()
+    plan_stats = srv.plan_cache.stats()
+
+    # -- epoch phase: hit bit-identical to cold, commit forces recompute
+    probe = srv.connect(tenant="gold")
+    sql = "SELECT a, b FROM t WHERE a < 40 ORDER BY a"
+    cold = probe.simple_query(sql)
+    hit = probe.simple_query(sql)
+    bit_identical = all(
+        hit.columns[k].dtype == cold.columns[k].dtype
+        and hit.columns[k].tobytes() == cold.columns[k].tobytes()
+        for k in cold.columns)
+    epoch_before = c.txn.table_epoch("t")
+    probe.simple_query("INSERT INTO t (a, b) VALUES (999999, 1)")
+    epoch_after = c.txn.table_epoch("t")
+    misses_before = srv.result_cache.misses
+    recomputed = probe.simple_query("SELECT sum(b) AS s FROM t")
+    recompute_was_miss = srv.result_cache.misses == misses_before + 1
+    direct = execute_sql(c, "SELECT sum(b) AS s FROM t")
+    recompute_fresh = (recomputed.columns["s"].tolist()
+                      == direct.columns["s"].tolist())
+
+    # -- per-tenant latency through the metrics histogram machinery
+    lat = c.registry.histogram(
+        "bench_serving_latency_seconds", "per-query sim latency",
+        labels=("tenant",), buckets=LATENCY_BUCKETS)
+    per_tenant_n = {name: 0 for name in window}
+    for r in c.monitor.query_log.records():
+        if r.tenant in per_tenant_n and r.state == "finished":
+            lat.observe(r.wait_s + r.sim_s, tenant=r.tenant)
+            per_tenant_n[r.tenant] += 1
+
+    tenants_table = execute_sql(
+        c, "SELECT tenant, weight, queued, running, admitted, finished, "
+           "wfq_pass FROM vh$tenants")
+    return {
+        "admitted_order": admitted,
+        "window": window,
+        "fair_admitted": fair_admitted,
+        "completion_jain": completion,
+        "latency": {
+            name: {"n": per_tenant_n[name],
+                   "p50_ms": 1e3 * lat.quantile(0.5, tenant=name),
+                   "p95_ms": 1e3 * lat.quantile(0.95, tenant=name)}
+            for name in window
+        },
+        "result_cache": result_stats,
+        "plan_cache": plan_stats,
+        "replay_hits": replay_hits,
+        "plan_hits": plan_hits,
+        "epoch": {
+            "before": epoch_before, "after": epoch_after,
+            "hit_bit_identical": bit_identical,
+            "recompute_was_miss": recompute_was_miss,
+            "recompute_fresh": recompute_fresh,
+        },
+        "vh_tenants": [tuple(tenants_table.columns[k][i]
+                             for k in tenants_table.columns)
+                       for i in range(tenants_table.n)],
+        "connections": len(srv.connections),
+        "sim_seconds": c.sim_clock.seconds,
+        "bytes_sent": srv.stats()["bytes_sent"],
+        "bytes_received": srv.stats()["bytes_received"],
+    }
+
+
+def test_bench_serving():
+    run = _run_scenario()
+    twin = _run_scenario()
+
+    # twin same-seed runs: identical admission order and tenant state
+    assert run["admitted_order"] == twin["admitted_order"]
+    assert run["vh_tenants"] == twin["vh_tenants"]
+    assert run["sim_seconds"] == twin["sim_seconds"]
+    assert (run["bytes_sent"], run["bytes_received"]) == \
+        (twin["bytes_sent"], twin["bytes_received"])
+
+    assert run["connections"] == N_CLIENTS + 2 >= 1000
+
+    # admitted throughput tracks the 2:1:1 weights within 15% while
+    # every tenant stays backlogged
+    window = run["window"]
+    weights = {name: w for name, w, _, _ in TENANTS}
+    per_weight = {n: window[n] / weights[n] for n in window}
+    reference = per_weight["silver"]
+    ratios = {n: per_weight[n] / reference for n in per_weight}
+    for name, ratio in ratios.items():
+        assert abs(ratio - 1.0) <= 0.15, (name, ratio, window)
+
+    # Jain fairness: across weight-normalized tenant throughput, and
+    # across per-client completion within each tenant
+    cross_tenant_jain = _jain(per_weight.values())
+    assert cross_tenant_jain >= 0.9
+    for name, jain in run["completion_jain"].items():
+        assert jain >= 0.9, (name, jain)
+
+    # every fairness-phase query was eventually served
+    for name, _, n_fair, _ in TENANTS:
+        assert run["fair_admitted"][name] == n_fair
+
+    # hot statements actually hit: >=80% of the replay clients are
+    # answered straight from the warmed result cache, and re-binding a
+    # warmed prepared statement hits the plan cache
+    total_cache_clients = sum(t[3] for t in TENANTS)
+    assert run["replay_hits"] >= 0.8 * total_cache_clients, \
+        run["result_cache"]
+    assert run["plan_hits"] >= len(HOT_PARAMS)
+
+    # a hit is bit-identical to the cold run; the commit bumped the
+    # epoch and forced a fresh recompute
+    epoch = run["epoch"]
+    assert epoch["hit_bit_identical"]
+    assert epoch["after"] == epoch["before"] + 1
+    assert epoch["recompute_was_miss"] and epoch["recompute_fresh"]
+
+    replay_rate = run["replay_hits"] / total_cache_clients
+    payload = {
+        "scale_factor": SCALE_FACTOR,
+        "workers": N_WORKERS,
+        "core_slots": CORE_SLOTS,
+        "clients": run["connections"],
+        "tenants": {
+            name: {
+                "weight": weights[name],
+                "window_admitted": window[name],
+                "throughput_ratio_vs_weight": round(ratios[name], 4),
+                "total_admitted": run["fair_admitted"][name],
+                "completion_jain": round(run["completion_jain"][name], 4),
+                **{k: round(v, 4) for k, v in
+                   run["latency"][name].items()},
+            }
+            for name in window
+        },
+        "cross_tenant_jain": round(cross_tenant_jain, 4),
+        "result_cache": {
+            **run["result_cache"],
+            "replay_clients": total_cache_clients,
+            "replay_hit_rate": round(replay_rate, 4),
+        },
+        "plan_cache": {**run["plan_cache"],
+                       "rebind_hits": run["plan_hits"]},
+        "epoch_correctness": epoch,
+        "twin_bit_identical": True,
+        "sim_seconds": run["sim_seconds"],
+        "wire_bytes": {"sent": run["bytes_sent"],
+                       "received": run["bytes_received"]},
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_serving.json").write_text(
+        json.dumps(payload, indent=2, default=str))
+
+    lines = [
+        f"Serving benchmark (SF={SCALE_FACTOR}, {N_WORKERS} workers, "
+        f"{CORE_SLOTS} core slots, {run['connections']} clients)",
+        "",
+        f"{'tenant':<8} {'weight':>6} {'window':>7} {'ratio':>6} "
+        f"{'total':>6} {'jain':>6} {'p50':>10} {'p95':>10}",
+    ]
+    for name in window:
+        entry = payload["tenants"][name]
+        lines.append(
+            f"{name:<8} {entry['weight']:>6} {entry['window_admitted']:>7} "
+            f"{entry['throughput_ratio_vs_weight']:>6.2f} "
+            f"{entry['total_admitted']:>6} {entry['completion_jain']:>6.2f} "
+            f"{entry['p50_ms']:>8.3f}ms {entry['p95_ms']:>8.3f}ms")
+    lines += [
+        "",
+        f"cross-tenant Jain (throughput/weight): {cross_tenant_jain:.4f}",
+        f"result cache: {run['replay_hits']}/{total_cache_clients} replay "
+        f"clients served from cache (rate {replay_rate:.2f}), "
+        f"{run['result_cache']['invalidations']} epoch invalidations",
+        f"plan cache: {run['plan_hits']} re-bind hits, "
+        f"{run['plan_cache']['entries']} entries",
+        f"epoch bump {epoch['before']} -> {epoch['after']}: "
+        f"hit bit-identical={epoch['hit_bit_identical']}, "
+        f"recompute fresh={epoch['recompute_fresh']}",
+        "twin same-seed runs: admission order, vh$tenants and sim clock "
+        "bit-identical",
+    ]
+    write_report("serving_report.txt", "\n".join(lines))
+
+
+if __name__ == "__main__":
+    test_bench_serving()

@@ -22,6 +22,7 @@ from repro.chaos.faults import (
     FaultSpec,
     HdfsFaultInjector,
     NetFaultInjector,
+    SERVING_KINDS,
     TRANSIENT_KINDS,
 )
 from repro.chaos.invariants import InvariantChecker, InvariantReport
@@ -36,5 +37,6 @@ __all__ = [
     "InvariantChecker",
     "InvariantReport",
     "NetFaultInjector",
+    "SERVING_KINDS",
     "TRANSIENT_KINDS",
 ]

@@ -150,6 +150,10 @@ class ChaosController:
         elif spec.kind == "txn.crash":
             self._pending_txn_crash = spec
             detail = "armed"
+        elif spec.kind == "conn.drop":
+            detail = self._drop_connection(spec)
+        elif spec.kind == "tenant.storm":
+            detail = self._tenant_storm(spec)
         self._injected.inc(kind=spec.kind)
         self.cluster.events.emit("chaos", "injected", fault=spec.kind,
                                  target=spec.target, detail=detail)
@@ -241,6 +245,21 @@ class ChaosController:
             cluster.dbagent.negotiate_to_target(storm.slices_before)
         cluster.events.emit("chaos", "storm_over", app=storm.app_id,
                             slices=len(cluster.dbagent.slices))
+
+    # -- server-frontend faults ----------------------------------------------
+
+    def _drop_connection(self, spec: FaultSpec) -> str:
+        frontend = getattr(self.cluster, "frontend", None)
+        if frontend is None:
+            return "skipped (no server frontend)"
+        return frontend.chaos_drop_connection(spec.target or None)
+
+    def _tenant_storm(self, spec: FaultSpec) -> str:
+        frontend = getattr(self.cluster, "frontend", None)
+        if frontend is None:
+            return "skipped (no server frontend)"
+        return frontend.chaos_storm(spec.target or None,
+                                    count=max(1, spec.count))
 
     # -- reporting -----------------------------------------------------------
 

@@ -32,6 +32,13 @@ TRANSIENT_KINDS = (
     "yarn.preempt_storm",  # higher-priority app preempts footprint slices
 )
 
+#: server-frontend faults; separate from TRANSIENT_KINDS so existing
+#: seeded schedules stay bit-identical (rng.choice over the kind list)
+SERVING_KINDS = (
+    "conn.drop",      # the oldest open client connection hangs up
+    "tenant.storm",   # `count` queries burst-submitted at one tenant
+)
+
 
 @dataclass(frozen=True)
 class FaultSpec:
@@ -94,6 +101,14 @@ class FaultPlan:
                 target = rng.choice(nodes)
                 param = round(rng.uniform(0.0005, 0.005), 9)
                 count = rng.randint(1, 3)
+            elif kind == "conn.drop":
+                target = ""  # frontend picks the oldest open connection
+                param = 0.0
+                count = 1
+            elif kind == "tenant.storm":
+                target = ""  # frontend picks the busiest tenant
+                param = 0.0
+                count = rng.randint(2, 5)
             else:  # yarn.preempt_storm
                 target = rng.choice(nodes)
                 param = round(rng.uniform(0.005, 0.02), 9)  # dwell time

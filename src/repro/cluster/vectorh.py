@@ -135,6 +135,9 @@ class VectorHCluster:
                 self.registry, top_k=self.config.profiler_top_k)
         #: installed ChaosController when fault injection is active
         self.chaos = None
+        #: installed ServerFrontend when the cluster is served over the
+        #: simulated wire protocol (see :meth:`serve`)
+        self.frontend = None
 
     # ---------------------------------------------------------------- plumbing
 
@@ -236,6 +239,7 @@ class VectorHCluster:
             part.delete_all()
         self.wal.log_global("ddl", ("drop_table", name),
                             writer=self.session_master)
+        self.txn.bump_epoch(name)
         self.events.emit("cluster", "drop_table", table=name)
 
     # --------------------------------------------------------------------- load
@@ -248,12 +252,26 @@ class VectorHCluster:
         writers = {pid: self.responsible(table, pid)
                    for pid in range(stored.n_partitions)}
         stored.bulk_load(columns, writers)
+        self.txn.bump_epoch(table)
 
     # ------------------------------------------------------------------- queries
 
     def session(self) -> Session:
         """Open a client session on the workload manager."""
         return self.workload.session()
+
+    def serve(self):
+        """Install (or return) the wire-protocol server frontend.
+
+        The frontend accepts simulated client connections, routes each to
+        a tenant queue in the workload manager and fronts execution with
+        the epoch-keyed result/plan caches. Idempotent: one frontend per
+        cluster.
+        """
+        if self.frontend is None:
+            from repro.server import ServerFrontend
+            self.frontend = ServerFrontend(self)
+        return self.frontend
 
     def submit(self, plan: LogicalPlan, **kwargs) -> int:
         """Submit a query for concurrent execution; returns the query id.
@@ -399,6 +417,7 @@ class VectorHCluster:
                         pid, {k: v[mask] for k, v in arrays.items()},
                         writer=self.responsible(table, pid),
                     )
+            self.txn.bump_epoch(table)
             return
         if own_txn:
             trans = self.begin()
@@ -769,6 +788,52 @@ class VectorHCluster:
                         self._replay_pdt(tname, pid, new)
         self.hdfs.rereplicate()
         self.hdfs.rebalance()
+
+    # ----------------------------------------- feedback persistence (§5)
+
+    def _feedback_path(self) -> str:
+        return self.db_path + "/meta/feedback.json"
+
+    def checkpoint_feedback(self) -> Dict[str, object]:
+        """Persist the cardinality feedback store to HDFS.
+
+        Warmed plans (and therefore a server frontend's prepared-plan
+        cache) should not start cold after a cluster restart: the
+        observed-cardinality entries are written as JSON under
+        ``<db_path>/meta/`` and also returned, so a restart harness can
+        carry them into a fresh cluster object directly.
+        """
+        import json
+        state = (self.feedback.export_state() if self.feedback is not None
+                 else {"entries": []})
+        data = json.dumps(state, sort_keys=True).encode()
+        path = self._feedback_path()
+        if self.hdfs.exists(path):
+            self.hdfs.delete(path)
+        self.hdfs.write_file(path, data, writer=self.session_master)
+        self.events.emit("cluster", "feedback_checkpoint",
+                         entries=len(state["entries"]), bytes=len(data))
+        return state
+
+    def restore_feedback(self,
+                         state: Optional[Dict[str, object]] = None) -> int:
+        """Load feedback entries from ``state`` or the HDFS checkpoint.
+
+        Returns the number of entries restored (0 when feedback is
+        disabled or no checkpoint exists).
+        """
+        import json
+        if self.feedback is None:
+            return 0
+        if state is None:
+            path = self._feedback_path()
+            if not self.hdfs.exists(path):
+                return 0
+            state = json.loads(
+                self.hdfs.read(path, reader=self.session_master).decode())
+        restored = self.feedback.restore_state(state)
+        self.events.emit("cluster", "feedback_restored", entries=restored)
+        return restored
 
     # ----------------------------------------------------------------- statistics
 

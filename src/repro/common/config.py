@@ -89,6 +89,20 @@ class Config:
     #: replans_total per sim-second that raises replan_storm (0 = off)
     alert_replan_rate: float = 0.0
 
+    # --- serving (repro.server) ---------------------------------------------
+    #: result-set cache entries at the server frontend (0 disables); keys
+    #: are SQL text + the snapshot epochs of every referenced table, so a
+    #: hit is always bit-identical to a cold run at the same epoch
+    server_result_cache_entries: int = 256
+    #: prepared-plan cache entries (0 disables): parallel plans keyed by
+    #: statement fingerprint + bound parameters + table epochs
+    server_plan_cache_entries: int = 256
+    #: tenant queue depth / core quota ratio that raises the
+    #: tenant_quota_saturated alert (0 = rule disabled)
+    alert_tenant_saturation: float = 1.0
+    #: ...once sustained this many simulated seconds (0 = immediately)
+    alert_tenant_window_s: float = 0.0
+
     # --- chaos (fault injection) --------------------------------------------
     #: seed for the chaos controller's private RNG; the same seed yields a
     #: bit-identical fault schedule, event log and invariant report

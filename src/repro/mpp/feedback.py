@@ -143,6 +143,33 @@ class CardinalityFeedbackStore:
     def snapshot(self) -> List[FeedbackEntry]:
         return [self.entries[k] for k in sorted(self.entries)]
 
+    # ------------------------------------------------------- persistence
+
+    def export_state(self) -> Dict[str, list]:
+        """JSON-serializable dump of every entry (checkpoint format)."""
+        return {"entries": [
+            {"signature": e.signature, "estimated": e.estimated,
+             "observed": e.observed, "hits": e.hits, "updated": e.updated}
+            for e in self.snapshot()
+        ]}
+
+    def restore_state(self, state: Dict[str, list]) -> int:
+        """Load a checkpoint produced by :meth:`export_state`.
+
+        Entries merge last-write-wins over anything already present, so
+        restoring into a warm store keeps the fresher local observations
+        only when the checkpoint lacks them. Returns entries restored.
+        """
+        restored = 0
+        for item in state.get("entries", []):
+            signature = item["signature"]
+            self.entries[signature] = FeedbackEntry(
+                signature, float(item["estimated"]), float(item["observed"]),
+                hits=int(item.get("hits", 0)),
+                updated=float(item.get("updated", 0.0)))
+            restored += 1
+        return restored
+
 
 # ---------------------------------------------------------------------------
 # Harvesting actuals from executed plans

@@ -2,7 +2,7 @@
 
 The cluster describes itself through its own SQL engine:
 
-* **System tables** -- :class:`SystemCatalog` registers fifteen virtual
+* **System tables** -- :class:`SystemCatalog` registers seventeen virtual
   ``vh$`` tables (:data:`SYSTEM_TABLES`) whose partitions are live
   snapshots of the metrics registry, the HDFS block map, per-column
   compression statistics, PDT overlay sizes, the cluster event log, the
@@ -293,6 +293,34 @@ def _query_log_rows(cluster) -> List[tuple]:
     return monitor.query_log.rows()
 
 
+def _tenants_rows(cluster) -> List[tuple]:
+    """Per-tenant admission state: weights, quotas, WFQ pass values and
+    lifetime admitted/finished counts. Wall-clock free, so twin
+    deterministic runs show identical contents."""
+    workload = getattr(cluster, "workload", None)
+    tenants = getattr(workload, "tenants", None)
+    if not tenants:
+        return []
+    return [
+        (t.name, t.weight, t.priority, t.max_concurrent, t.memory_limit,
+         len(t.queue), t.running, t.admitted, t.finished, t.pass_value)
+        for t in tenants.values()
+    ]
+
+
+def _connections_rows(cluster) -> List[tuple]:
+    """The server frontend's client connections (empty until
+    ``cluster.serve()`` has been called)."""
+    frontend = getattr(cluster, "frontend", None)
+    if frontend is None:
+        return []
+    return [
+        (c.conn_id, c.tenant, c.state, c.queries, len(c.inflight),
+         len(c.prepared), c.opened_sim)
+        for c in frontend.connections.values()
+    ]
+
+
 def _operator_stats_rows(cluster) -> List[tuple]:
     """The continuous profiler's cumulative per-operator-kind stats.
 
@@ -394,8 +422,20 @@ SYSTEM_TABLES = (
       ("wall_ms", FLOAT64), ("sim_ms", FLOAT64), ("wait_ms", FLOAT64),
       ("rows", INT64), ("peak_memory", INT64), ("wire_bytes", INT64),
       ("retries", INT64), ("replans", INT64), ("max_qerror", FLOAT64),
-      ("dominant", STRING), ("dominant_share", FLOAT64)],
+      ("dominant", STRING), ("dominant_share", FLOAT64),
+      ("tenant", STRING)],
      _query_log_rows),
+    ("vh$tenants",
+     [("tenant", STRING), ("weight", INT64), ("priority", INT64),
+      ("quota", INT64), ("memory_quota", INT64), ("queued", INT64),
+      ("running", INT64), ("admitted", INT64), ("finished", INT64),
+      ("wfq_pass", INT64)],
+     _tenants_rows),
+    ("vh$connections",
+     [("conn", INT64), ("tenant", STRING), ("state", STRING),
+      ("queries", INT64), ("inflight", INT64), ("prepared", INT64),
+      ("opened_sim", FLOAT64)],
+     _connections_rows),
     ("vh$operator_stats",
      [("operator", STRING), ("queries", INT64), ("instances", INT64),
       ("rows_in", INT64), ("rows_out", INT64), ("batches", INT64),

@@ -590,6 +590,14 @@ def default_rules(cluster) -> List[AlertRule]:
             "replan_storm", "replans_total", threshold=replan_rate,
             op=">", kind="rate", window_s=0.0,
             help="mid-query re-plans per simulated second"))
+    saturation = getattr(config, "alert_tenant_saturation", 0.0)
+    if saturation:
+        rules.append(AlertRule(
+            "tenant_quota_saturated", "tenant_quota_saturation",
+            threshold=float(saturation), op=">=", kind="gauge", agg="max",
+            for_seconds=getattr(config, "alert_tenant_window_s", 0.0),
+            help="a tenant's admission backlog meets or exceeds its "
+                 "concurrency quota"))
     return rules
 
 
@@ -638,6 +646,8 @@ class QueryLogRecord:
     dominant_op: str = ""
     #: that operator's share of the query's total sim cost (0..1)
     dominant_share: float = 0.0
+    #: the tenant whose admission queue the query ran under
+    tenant: str = ""
 
 
 class QueryLog:
@@ -687,7 +697,7 @@ class QueryLog:
              r.plan_signature, r.statement, r.wall_s * 1e3, r.sim_s * 1e3,
              r.wait_s * 1e3, r.rows, r.peak_memory_bytes, r.wire_bytes,
              r.retries, r.replans, r.max_qerror,
-             r.dominant_op, r.dominant_share)
+             r.dominant_op, r.dominant_share, r.tenant)
             for r in self._records
         ]
 
@@ -698,7 +708,7 @@ class QueryLog:
         worst = sorted(self._records, key=lambda r: (-r.sim_s, r.query_id))
         lines = [f"{'query':>6} {'state':<9} {'sim':>10} {'wall':>10} "
                  f"{'wait':>10} {'rows':>8} {'peak mem':>10} {'q-err':>6} "
-                 f"{'dominant':<18} fingerprint"]
+                 f"{'dominant':<18} {'tenant':<10} fingerprint"]
         for r in worst[:n]:
             dominant = (f"{r.dominant_op} {100 * r.dominant_share:.0f}%"
                         if r.dominant_op else "-")
@@ -706,7 +716,8 @@ class QueryLog:
                 f"{r.query_id:>6} {r.state:<9} {r.sim_s * 1e3:>8.3f}ms "
                 f"{r.wall_s * 1e3:>8.3f}ms {r.wait_s * 1e3:>8.3f}ms "
                 f"{r.rows:>8} {r.peak_memory_bytes:>10} "
-                f"{r.max_qerror:>6.1f} {dominant:<18} {r.fingerprint}")
+                f"{r.max_qerror:>6.1f} {dominant:<18} "
+                f"{r.tenant or '-':<10} {r.fingerprint}")
         return "\n".join(lines)
 
     def fingerprint_stats(self) -> Dict[str, dict]:
@@ -859,13 +870,18 @@ class FlightRecorder:
             except Exception:  # noqa: BLE001 - diagnostics must not fail
                 dominant_op, dominant_share = "", 0.0
         # programmatic submissions carry no SQL text: fingerprint the
-        # normalized plan signature so distinct plans stay distinct
+        # normalized plan signature so distinct plans stay distinct. A
+        # pre-computed fingerprint (prepared statements) wins outright,
+        # so every execution of one template aggregates as one entry
+        # whatever literals were bound.
         fp_source = record.statement or plan_signature or statement
+        fingerprint = (getattr(record, "fingerprint", "")
+                       or sql_fingerprint(fp_source))
         log_record = QueryLogRecord(
             query_id=record.query_id,
             session_id=record.session_id,
             state=record.state,
-            fingerprint=sql_fingerprint(fp_source),
+            fingerprint=fingerprint,
             plan_signature=plan_signature,
             statement=statement,
             wall_s=max(0.0, record.finish_wall - record.submit_wall),
@@ -881,6 +897,7 @@ class FlightRecorder:
             max_qerror=max_qerror,
             dominant_op=dominant_op,
             dominant_share=dominant_share,
+            tenant=getattr(record, "tenant", ""),
         )
         self.query_log.append(log_record)
         return log_record

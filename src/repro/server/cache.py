@@ -1,0 +1,187 @@
+"""Snapshot-epoch result and plan caches for the server frontend.
+
+Both caches key entries by a text key *plus the snapshot epoch vector*
+of every table the statement reads -- the ``(table, epoch)`` pairs from
+:meth:`repro.txn.manager.TransactionManager.epoch_vector`. Epochs bump
+on every commit that changes a table's visible contents, so an entry is
+valid exactly as long as a repeat execution would be bit-identical:
+
+* a **hit** requires the *current* epochs to equal the stored ones --
+  a lookup after any commit to a referenced table can never return the
+  old rows;
+* **eager invalidation** additionally evicts dependents the moment an
+  epoch bumps (the frontend feeds ``epoch_listeners`` into
+  :meth:`invalidate_table`), keeping the LRU free of dead entries.
+
+The result cache copies column arrays on store *and* on serve, so a
+client mutating a returned batch can never corrupt a later hit -- hits
+must stay bit-identical to a cold run. The plan cache stores the
+planned :class:`~repro.mpp.strategy.QueryPlan` itself: plans are
+immutable descriptions (every execution builds fresh operators), so
+sharing one plan across executions is safe and skips the rewriter.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.engine.batch import Batch
+
+EpochVector = Tuple[Tuple[str, int], ...]
+_Key = Tuple[str, EpochVector]
+
+
+class EpochKeyedCache:
+    """LRU cache keyed by (text, epoch vector) with a table->keys index."""
+
+    kind = "generic"
+
+    def __init__(self, max_entries: int, registry=None):
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[_Key, object]" = OrderedDict()
+        self._deps: Dict[str, Set[_Key]] = {}
+        self._hits = self._misses = self._evictions = None
+        self._invalidations = None
+        if registry is not None:
+            self._hits = registry.counter(
+                "server_cache_hits_total", "Server cache hits",
+                labels=("cache",))
+            self._misses = registry.counter(
+                "server_cache_misses_total", "Server cache misses",
+                labels=("cache",))
+            self._evictions = registry.counter(
+                "server_cache_evictions_total",
+                "Server cache entries evicted by LRU capacity",
+                labels=("cache",))
+            self._invalidations = registry.counter(
+                "server_cache_invalidations_total",
+                "Server cache entries evicted by an epoch bump",
+                labels=("cache",))
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ----------------------------------------------------------- internals
+
+    def _count(self, counter, attr: str) -> None:
+        setattr(self, attr, getattr(self, attr) + 1)
+        if counter is not None:
+            counter.inc(cache=self.kind)
+
+    def _copy_in(self, value):
+        return value
+
+    def _copy_out(self, value):
+        return value
+
+    def _drop(self, key: _Key) -> None:
+        self._entries.pop(key, None)
+        for table, _epoch in key[1]:
+            keys = self._deps.get(table)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._deps[table]
+
+    # ----------------------------------------------------------------- API
+
+    def lookup(self, text: str, epochs: EpochVector):
+        """The cached value for ``text`` at exactly ``epochs``, or None."""
+        key = (text, epochs)
+        value = self._entries.get(key)
+        if value is None:
+            self._count(self._misses, "misses")
+            return None
+        self._entries.move_to_end(key)
+        self._count(self._hits, "hits")
+        return self._copy_out(value)
+
+    def store(self, text: str, epochs: EpochVector, value,
+              tables: Iterable[str]) -> None:
+        if self.max_entries <= 0:
+            return
+        key = (text, epochs)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = self._copy_in(value)
+            return
+        while len(self._entries) >= self.max_entries:
+            oldest, _ = self._entries.popitem(last=False)
+            self._drop(oldest)
+            self._count(self._evictions, "evictions")
+        self._entries[key] = self._copy_in(value)
+        for table in set(tables):
+            self._deps.setdefault(table, set()).add(key)
+
+    def invalidate_table(self, table: str) -> int:
+        """Evict every entry that read ``table``; returns entries dropped."""
+        keys = self._deps.pop(table, None)
+        if not keys:
+            return 0
+        dropped = 0
+        for key in sorted(keys):
+            if key in self._entries:
+                self._drop(key)
+                self._count(self._invalidations, "invalidations")
+                dropped += 1
+        return dropped
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._deps.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses, "evictions": self.evictions,
+                "invalidations": self.invalidations}
+
+
+class ResultCache(EpochKeyedCache):
+    """Finished result sets; hits are bit-identical to a cold run."""
+
+    kind = "result"
+
+    def _copy_in(self, value: Batch) -> Batch:
+        return Batch({k: v.copy() for k, v in value.columns.items()},
+                     value.n)
+
+    def _copy_out(self, value: Batch) -> Batch:
+        return Batch({k: v.copy() for k, v in value.columns.items()},
+                     value.n)
+
+
+class PlanCache(EpochKeyedCache):
+    """Planned QueryPlans for prepared statements, per parameter vector.
+
+    The text key folds the statement fingerprint together with the bound
+    parameters (plans bake literals in as constants, so different
+    parameter values are different plans); epochs guard against feedback
+    or statistics drift after commits.
+    """
+
+    kind = "plan"
+
+    @staticmethod
+    def plan_key(fingerprint: str, params: Tuple[object, ...]) -> str:
+        return f"{fingerprint}|{params!r}"
+
+
+def lookup_plan(cache: Optional[PlanCache], fingerprint: str,
+                params: Tuple[object, ...], epochs: EpochVector):
+    if cache is None or not fingerprint:
+        return None
+    return cache.lookup(PlanCache.plan_key(fingerprint, params), epochs)
+
+
+def store_plan(cache: Optional[PlanCache], fingerprint: str,
+               params: Tuple[object, ...], epochs: EpochVector, qplan,
+               tables: Iterable[str]) -> None:
+    if cache is None or not fingerprint:
+        return
+    cache.store(PlanCache.plan_key(fingerprint, params), epochs, qplan,
+                tables)

@@ -69,6 +69,10 @@ def _bind_expr(node) -> Expr:
     if isinstance(node, ast.SubstringOp):
         from repro.engine.expressions import Substr
         return Substr(_bind_expr(node.child), node.start, node.length)
+    if isinstance(node, ast.Parameter):
+        raise SqlError(
+            f"unbound parameter ${node.index}: prepared statements must "
+            f"be bound (Bind) before execution")
     raise SqlError(f"cannot bind expression node {node!r}")
 
 
@@ -345,6 +349,15 @@ def execute_sql(cluster, text: str, trans=None):
 def _execute_sql(cluster, text: str, trans, tracer):
     with tracer.span("parse"):
         stmt = SqlParser(text).parse()
+    return execute_statement(cluster, stmt, trans=trans, tracer=tracer)
+
+
+def execute_statement(cluster, stmt, trans=None, tracer=None):
+    """Run an already-parsed statement AST (the server's Execute path
+    lands here with parameters already bound into the tree)."""
+    if tracer is None:
+        from repro.obs import NULL_TRACER
+        tracer = NULL_TRACER
     if isinstance(stmt, ast.SelectStatement):
         with tracer.span("bind"):
             plan = _SelectBinder(cluster, stmt).plan()

@@ -21,6 +21,7 @@ _TOKEN_RE = re.compile(r"""
     (?P<ws>\s+)
   | (?P<number>\d+(\.\d+)?)
   | (?P<string>'(?:[^'])*')
+  | (?P<param>\$\d+)
   | (?P<name>[A-Za-z_][A-Za-z0-9_$]*)
   | (?P<op><>|<=|>=|!=|=|<|>|\(|\)|,|\*|\+|-|/|\.|;)
 """, re.VERBOSE)
@@ -28,7 +29,7 @@ _TOKEN_RE = re.compile(r"""
 
 @dataclass(frozen=True)
 class Token:
-    kind: str  # keyword | name | number | string | op | eof
+    kind: str  # keyword | name | number | string | param | op | eof
     value: str
 
 
@@ -59,6 +60,9 @@ class SqlLexer:
                     out.append(Token("name", value))
             elif match.lastgroup == "string":
                 out.append(Token("string", value[1:-1]))
+            elif match.lastgroup == "param":
+                # extended-protocol placeholder $N (1-based)
+                out.append(Token("param", value[1:]))
             elif match.lastgroup == "number":
                 out.append(Token("number", value))
             else:

@@ -24,6 +24,15 @@ class Literal:
 
 
 @dataclass
+class Parameter:
+    """Extended-protocol placeholder ``$N`` (1-based); replaced with a
+    :class:`Literal` at Bind time (:func:`repro.sql.prepare.bind_parameters`).
+    """
+
+    index: int
+
+
+@dataclass
 class BinaryOp:
     op: str
     left: object
@@ -413,6 +422,8 @@ class SqlParser:
             return Literal(self._number(self._next().value))
         if token.kind == "string":
             return Literal(self._next().value)
+        if token.kind == "param":
+            return Parameter(int(self._next().value))
         if token.kind == "name":
             return ColumnRef(self._next().value)
         raise SqlError(f"unexpected token {token.value!r}")
@@ -448,6 +459,10 @@ class SqlParser:
             return self._number(token.value)
         if token.kind == "string":
             return token.value
+        if token.kind == "param":
+            # raw-value position (IN list, INSERT row): the binder sees
+            # the bound python value directly, not a Literal node
+            return Parameter(int(token.value))
         if token.kind == "keyword" and token.value == "null":
             return None
         raise SqlError(f"expected literal, got {token.value!r}")

@@ -91,6 +91,33 @@ class TransactionManager:
         #: points; raising :class:`SimulatedCrash` models the coordinator
         #: node dying there, leaving the transaction in doubt.
         self.crash_hook = None
+        #: per-table snapshot epoch: bumped once per table whenever a
+        #: commit (2PC, recovery, direct append or bulk load) changes its
+        #: visible contents. Caches key results by epoch vector -- any
+        #: entry whose epochs no longer match is stale by construction.
+        self.table_epochs: Dict[str, int] = {}
+        #: ``listener(table, epoch)`` callbacks fired on every bump (the
+        #: server frontend registers its cache invalidation here)
+        self.epoch_listeners: list = []
+
+    # ------------------------------------------------------------------ epochs
+
+    def table_epoch(self, table: str) -> int:
+        """Current snapshot epoch of ``table`` (0 = never committed to)."""
+        return self.table_epochs.get(table, 0)
+
+    def epoch_vector(self, tables) -> Tuple[Tuple[str, int], ...]:
+        """Sorted ``(table, epoch)`` pairs -- the cache-validity key."""
+        return tuple((t, self.table_epochs.get(t, 0))
+                     for t in sorted(set(tables)))
+
+    def bump_epoch(self, table: str) -> int:
+        """Advance ``table``'s epoch and notify cache invalidators."""
+        epoch = self.table_epochs.get(table, 0) + 1
+        self.table_epochs[table] = epoch
+        for listener in list(self.epoch_listeners):
+            listener(table, epoch)
+        return epoch
 
     @property
     def commits(self) -> int:
@@ -203,6 +230,8 @@ class TransactionManager:
                     if applied == 1 and len(involved) > 1:
                         self._crash_point("commit.partial", txn)
         txn.finished = True
+        for table in sorted({table for (table, _pid), _ in involved}):
+            self.bump_epoch(table)
         self._outcomes.inc(outcome="commit")
         self._emit_outcome(txn, "commit", partitions=len(involved))
 
@@ -272,6 +301,9 @@ class TransactionManager:
                         cluster.wal.log_abort(table, pid, txn_id,
                                               writer=node)
                         aborted.setdefault(txn_id, []).append((table, pid))
+        for txn_id in sorted(committed):
+            for table in sorted({t for t, _pid in committed[txn_id]}):
+                self.bump_epoch(table)
         events = getattr(cluster, "events", None)
         for outcome, settled in (("commit", committed), ("abort", aborted)):
             for txn_id in sorted(settled):

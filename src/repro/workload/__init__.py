@@ -10,25 +10,35 @@ This package refactors that control loop around *many* live queries:
   :class:`~repro.engine.exchange.MemoryMeter`; admitted queries are
   suspended :class:`~repro.mpp.executor.QueryRun`\\ s, advanced one turn
   each per global round.
-* :class:`AdmissionController` -- decides, strictly FIFO, whether the
-  next queued query fits under the per-node core slots (from the YARN
-  footprint dbAgent holds) and the per-node memory budget next to the
-  live usage of the running queries.
+* :class:`TenantState` -- one tenant's admission queue, weight,
+  priority and core/memory quotas; tenants are scheduled against each
+  other with deterministic integer stride (WFQ) scheduling, FIFO within
+  each tenant.
+* :class:`AdmissionController` -- decides whether the WFQ-selected
+  candidate fits under the per-node core slots (from the YARN footprint
+  dbAgent holds) and the per-node memory budget next to the live usage
+  of the running queries.
 * :class:`Session` -- a client handle: ``submit``/``gather``/``cancel``.
 """
 
 from repro.workload.manager import (
+    DEFAULT_TENANT,
+    STRIDE1,
     AdmissionController,
     QueryRecord,
     Session,
+    TenantState,
     WorkloadManager,
     estimate_query_memory,
 )
 
 __all__ = [
     "AdmissionController",
+    "DEFAULT_TENANT",
     "QueryRecord",
+    "STRIDE1",
     "Session",
+    "TenantState",
     "WorkloadManager",
     "estimate_query_memory",
 ]

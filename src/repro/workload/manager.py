@@ -23,15 +23,30 @@ of N queries is strictly below the sum of their serial runtimes.
 
 Admission
 ---------
-Strict FIFO, no bypass. A query is admitted when (i) a core slot is
-free on every node -- one admitted query pins one core per node, slots
-come from the dbAgent's negotiated footprint (slices * slice cores),
-falling back to ``config.cores_per_node`` -- and (ii) its conservative
-per-node memory estimate fits under ``workload_memory_budget_mb`` next
-to the *live* usage of the running queries, measured by the shared
-:class:`MemoryMeter` every per-query meter chains into. The queue head
-is force-admitted when nothing is running (a single over-budget query
-must run alone, not deadlock the queue).
+Per-tenant queues with weighted-fair (stride/WFQ) scheduling. Every
+query belongs to a tenant (default: ``"default"``); within a tenant the
+queue is strict FIFO, no bypass. Across tenants the next candidate is
+the head of the eligible tenant with the smallest ``(priority, pass)``
+key: admitting from a tenant advances its pass by ``STRIDE1 / weight``
+(integer stride scheduling), so under saturation a tenant with twice
+the weight is admitted twice as often -- proportional-share admission
+that is bit-deterministic because passes are integers and ties break on
+the tenant name. A tenant whose core quota (``max_concurrent``) or
+per-node memory quota is exhausted is skipped (its head records the
+quota as its queue reason); other tenants proceed.
+
+The selected candidate is then admitted when (i) a *global* core slot
+is free on every node -- one admitted query pins one core per node,
+slots come from the dbAgent's negotiated footprint (slices * slice
+cores), falling back to ``config.cores_per_node`` -- and (ii) its
+conservative per-node memory estimate fits under
+``workload_memory_budget_mb`` next to the *live* usage of the running
+queries, measured by the shared :class:`MemoryMeter` every per-query
+meter chains into. A globally blocked candidate blocks admission
+entirely (no bypass -- fairness must not starve big queries); it is
+force-admitted when nothing is running (a single over-budget query must
+run alone, not deadlock the queue). With only the default tenant
+registered this degenerates to exactly the old strict-FIFO behaviour.
 
 Snapshots
 ---------
@@ -73,6 +88,15 @@ CANCELLED = "cancelled"
 #: headroom factor on plan-derived memory estimates (hash builds and
 #: sort buffers hold input-sized state the plan walk cannot see exactly)
 _ESTIMATE_SAFETY = 1.5
+
+#: every submission without an explicit tenant lands here
+DEFAULT_TENANT = "default"
+
+#: stride scheduling quantum: a tenant's pass advances by
+#: ``STRIDE1 // weight`` per admission, so relative admission rates
+#: converge to the weight ratio using integer math only (bit-identical
+#: twin runs need no floats in the scheduling state)
+STRIDE1 = 1 << 20
 
 
 def _walk_phys(node: P.PhysNode):
@@ -136,6 +160,12 @@ class QueryRecord:
     session_id: int
     phys: P.PhysNode
     statement: str = ""
+    #: the tenant whose queue/quotas govern this query's admission
+    tenant: str = DEFAULT_TENANT
+    #: pre-computed fingerprint override for the query log (prepared
+    #: statements share one fingerprint across every set of bound
+    #: parameters); empty = fingerprint the statement text
+    fingerprint: str = ""
     root_label: str = "query"
     state: str = QUEUED
     exchange_mode: str = STREAMING
@@ -214,6 +244,33 @@ class AdmissionController:
         return True, "ok"
 
 
+@dataclass
+class TenantState:
+    """One tenant's admission queue, quotas and stride-scheduler state."""
+
+    name: str
+    #: proportional share under saturation (admission rate ~ weight)
+    weight: int = 1
+    #: tenants with a smaller priority value are always served first;
+    #: WFQ applies among tenants of equal priority
+    priority: int = 0
+    #: cap on this tenant's concurrently running queries (0 = none)
+    max_concurrent: int = 0
+    #: per-node byte cap across the tenant's running queries (0 = none)
+    memory_limit: int = 0
+    #: stride-scheduler pass: smallest pass is served next
+    pass_value: int = 0
+    queue: deque = field(default_factory=deque)
+    running: int = 0
+    admitted: int = 0
+    finished: int = 0
+    #: per-node estimate bytes charged by this tenant's running queries
+    mem_by_node: Dict[str, int] = field(default_factory=dict)
+
+    def stride(self) -> int:
+        return STRIDE1 // max(1, self.weight)
+
+
 class Session:
     """A client's handle on the workload manager."""
 
@@ -265,7 +322,14 @@ class WorkloadManager:
         self.admission = AdmissionController(
             cluster, memory_budget_per_node, max_concurrent or None)
         self._records: "OrderedDict[int, QueryRecord]" = OrderedDict()
-        self._queue: deque = deque()  # qids waiting for admission
+        #: per-tenant admission queues; insertion-ordered, tenant
+        #: selection is by (priority, pass, name) so iteration order
+        #: never matters for correctness -- only for determinism
+        self.tenants: "OrderedDict[str, TenantState]" = OrderedDict()
+        #: global stride clock: the pass of the last admitted tenant; a
+        #: tenant waking from idle jumps its pass here, so sleeping
+        #: never banks credit against active tenants
+        self._wfq_clock = 0
         self._running: List[int] = []  # qids with a live QueryRun
         self._query_ids = itertools.count(1)
         self._session_ids = itertools.count(1)
@@ -291,8 +355,25 @@ class WorkloadManager:
         self._retried = registry.counter(
             "queries_retried_total",
             "Queries transparently re-dispatched after losing a worker")
+        self._g_t_queue = registry.gauge(
+            "tenant_queue_depth", "Queries waiting, per tenant",
+            labels=("tenant",), sticky=True)
+        self._g_t_running = registry.gauge(
+            "tenant_running", "Queries running, per tenant",
+            labels=("tenant",), sticky=True)
+        #: queue depth / core quota, published only for tenants with a
+        #: quota -- the tenant_quota_saturated alert watches this and is
+        #: inert (metric absent) on clusters without tenant quotas
+        self._g_t_saturation = registry.gauge(
+            "tenant_quota_saturation",
+            "Tenant queue depth over its core quota (quota'd tenants only)",
+            labels=("tenant",), sticky=True)
+        self._c_t_admitted = registry.counter(
+            "tenant_admitted_total", "Admitted queries, per tenant",
+            labels=("tenant",))
         self._g_queue.set(0)
         self._g_running.set(0)
+        self.register_tenant(DEFAULT_TENANT)
 
     # ------------------------------------------------------------ plumbing
 
@@ -311,14 +392,28 @@ class WorkloadManager:
             events.emit("workload", kind, **attrs)
 
     def _update_gauges(self) -> None:
-        self._g_queue.set(len(self._queue))
+        self._g_queue.set(self.queued_count())
         self._g_running.set(len(self._running))
+        for tenant in self.tenants.values():
+            self._g_t_queue.set(len(tenant.queue), tenant=tenant.name)
+            self._g_t_running.set(tenant.running, tenant=tenant.name)
+            if tenant.max_concurrent:
+                self._g_t_saturation.set(
+                    len(tenant.queue) / tenant.max_concurrent,
+                    tenant=tenant.name)
+
+    def queued_count(self) -> int:
+        return sum(len(t.queue) for t in self.tenants.values())
+
+    def queued_ids(self) -> List[int]:
+        """All waiting query ids, in global submission order."""
+        return sorted(qid for t in self.tenants.values() for qid in t.queue)
 
     def load(self) -> Dict[str, int]:
         """Live load probe: what the dbAgent's automatic footprint sees."""
         streams_per_query = max(1, len(self.cluster.workers))
         return {
-            "queued": len(self._queue),
+            "queued": self.queued_count(),
             "running": len(self._running),
             "running_streams": len(self._running) * streams_per_query,
         }
@@ -328,6 +423,31 @@ class WorkloadManager:
 
     def sessions(self) -> Dict[int, Session]:
         return dict(self._sessions)
+
+    # -------------------------------------------------------------- tenants
+
+    def register_tenant(self, name: str, weight: int = 1, priority: int = 0,
+                        max_concurrent: int = 0,
+                        memory_limit: int = 0) -> TenantState:
+        """Create (or reconfigure) a tenant's queue, weight and quotas.
+
+        ``weight`` sets the proportional admission share under
+        saturation; ``priority`` overrides WFQ entirely (smaller values
+        are served strictly first); ``max_concurrent`` caps the tenant's
+        running queries and ``memory_limit`` caps the per-node estimate
+        bytes of its running set. Idempotent: re-registering updates the
+        configuration in place without touching queued work.
+        """
+        state = self.tenants.get(name)
+        if state is None:
+            state = TenantState(name=name, pass_value=self._wfq_clock)
+            self.tenants[name] = state
+        state.weight = max(1, int(weight))
+        state.priority = int(priority)
+        state.max_concurrent = int(max_concurrent)
+        state.memory_limit = int(memory_limit)
+        self._update_gauges()
+        return state
 
     # ------------------------------------------------------------- sessions
 
@@ -346,14 +466,23 @@ class WorkloadManager:
                trace: bool = False,
                memory_estimate: Optional[Dict[str, int]] = None,
                session: int = 0,
-               statement: Optional[str] = None) -> int:
+               statement: Optional[str] = None,
+               tenant: str = DEFAULT_TENANT,
+               qplan=None,
+               fingerprint: str = "") -> int:
         """Rewrite a logical plan and enqueue it; returns the query id.
 
         Submission is cheap: the plan is rewritten and estimated, then
         queued. Execution happens in :meth:`step` rounds, normally
         driven from :meth:`gather`. ``timeout`` is a simulated-seconds
         budget measured from submission; ``memory_estimate`` overrides
-        the plan-derived per-node admission estimate.
+        the plan-derived per-node admission estimate. ``tenant`` routes
+        the query to that tenant's admission queue (unknown tenants are
+        auto-registered with weight 1). A caller holding an
+        already-planned ``qplan`` (the server's prepared-plan cache)
+        skips the rewrite entirely; ``fingerprint`` overrides the query
+        log's statement fingerprint so all executions of one prepared
+        statement aggregate as a single entry.
         """
         cluster = self.cluster
         qid = next(self._query_ids)
@@ -367,7 +496,8 @@ class WorkloadManager:
         root.wall_start, root.sim_start = wall0, sim0
         rewrite = Span("rewrite")
         rewrite.wall_start, rewrite.sim_start = wall0, sim0
-        qplan = ParallelRewriter(cluster, flags).plan(plan)
+        if qplan is None:
+            qplan = ParallelRewriter(cluster, flags).plan(plan)
         phys = qplan.root
         rewrite.wall_end = _time.perf_counter()
         rewrite.sim_end = self._clock.seconds
@@ -376,7 +506,8 @@ class WorkloadManager:
         assignment.wall_start = assignment.wall_end = rewrite.wall_end
         assignment.sim_start = assignment.sim_end = rewrite.sim_end
         from repro.mpp.logical import LScan
-        scans = [n for n in plan.walk() if isinstance(n, LScan)]
+        logical = plan if plan is not None else qplan.logical
+        scans = [n for n in logical.walk() if isinstance(n, LScan)]
         tables = sorted({s.table for s in scans})
         assignment.attrs["tables"] = ",".join(tables) or "-"
         assignment.attrs["partitions"] = sum(
@@ -386,6 +517,7 @@ class WorkloadManager:
         record = QueryRecord(
             query_id=qid, session_id=session, phys=phys,
             statement=statement or "",
+            tenant=tenant, fingerprint=fingerprint,
             root_label=parent.name if parent is not None else "query",
             exchange_mode=exchange_mode, thread_to_node=thread_to_node,
             trace=trace, timeout=timeout, trans=trans,
@@ -398,8 +530,14 @@ class WorkloadManager:
             qplan=qplan,
         )
         self._records[qid] = record
-        self._queue.append(qid)
-        self._emit("query.queued", query=qid, session=session)
+        state = self.tenants.get(tenant)
+        if state is None:
+            state = self.register_tenant(tenant)
+        if not state.queue and state.running == 0:
+            # waking from idle: no banked credit against active tenants
+            state.pass_value = max(state.pass_value, self._wfq_clock)
+        state.queue.append(qid)
+        self._emit("query.queued", query=qid, session=session, tenant=tenant)
         self._admit()
         self._update_gauges()
         return qid
@@ -407,17 +545,67 @@ class WorkloadManager:
     # ------------------------------------------------------------ admission
 
     def _admit(self) -> None:
-        """Admit queue heads while they fit (FIFO, no bypass)."""
-        while self._queue:
-            record = self._records[self._queue[0]]
+        """Admit WFQ-selected tenant heads while they fit globally.
+
+        Tenant selection is weighted-fair (see the module docstring);
+        within the chosen tenant the head is strict FIFO, no bypass. A
+        candidate blocked by *global* core slots or memory stops
+        admission for everyone this round (fairness must not starve big
+        queries); a candidate blocked by its own *tenant* quota only
+        sidelines that tenant, the others keep going.
+        """
+        while True:
+            tenant = self._next_tenant()
+            if tenant is None:
+                break
+            record = self._records[tenant.queue[0]]
             ok, reason = self.admission.decide(
                 record, len(self._running), self.meter)
             if not ok and self._running:
                 record.queue_reason = reason
                 break
-            self._queue.popleft()
+            tenant.queue.popleft()
+            self._wfq_clock = tenant.pass_value
+            tenant.pass_value += tenant.stride()
             self._start(record, forced=not ok)
         self._update_gauges()
+
+    def _next_tenant(self) -> Optional[TenantState]:
+        """The eligible tenant with the smallest (priority, pass, name)."""
+        best = None
+        best_key = None
+        for tenant in self.tenants.values():
+            if not tenant.queue:
+                continue
+            blocked = self._tenant_blocked(tenant)
+            if blocked:
+                self._records[tenant.queue[0]].queue_reason = blocked
+                continue
+            key = (tenant.priority, tenant.pass_value, tenant.name)
+            if best_key is None or key < best_key:
+                best, best_key = tenant, key
+        return best
+
+    def _tenant_blocked(self, tenant: TenantState) -> str:
+        """Why this tenant's quotas sideline it now ("" = eligible).
+
+        Quotas only bite while the tenant has something running: a
+        tenant whose lone head exceeds its own memory quota is admitted
+        anyway (mirroring the global force-admit rule -- a quota must
+        throttle a tenant, never wedge it).
+        """
+        if tenant.max_concurrent and \
+                tenant.running >= tenant.max_concurrent:
+            return (f"tenant {tenant.name} core quota exhausted "
+                    f"({tenant.running}/{tenant.max_concurrent})")
+        if tenant.memory_limit and tenant.running:
+            head = self._records[tenant.queue[0]]
+            for node, estimate in head.memory_estimate.items():
+                used = tenant.mem_by_node.get(node, 0)
+                if used + estimate > tenant.memory_limit:
+                    return (f"tenant {tenant.name} memory quota on {node}: "
+                            f"{used} + {estimate} > {tenant.memory_limit}")
+        return ""
 
     def _start(self, record: QueryRecord, forced: bool = False) -> None:
         cluster = self.cluster
@@ -443,8 +631,17 @@ class WorkloadManager:
             query_id=record.query_id,
         )
         self._running.append(record.query_id)
+        tenant = self.tenants.get(record.tenant)
+        if tenant is not None:
+            tenant.running += 1
+            tenant.admitted += 1
+            for node, estimate in record.memory_estimate.items():
+                tenant.mem_by_node[node] = (
+                    tenant.mem_by_node.get(node, 0) + estimate)
+        self._c_t_admitted.inc(tenant=record.tenant)
         self._emit("query.admitted", query=record.query_id,
-                   wait=round(record.wait_sim, 9), forced=forced)
+                   wait=round(record.wait_sim, 9), forced=forced,
+                   tenant=record.tenant)
 
     def _scan_parts(self, phys: P.PhysNode):
         seen = set()
@@ -575,7 +772,9 @@ class WorkloadManager:
         if record is None or record.state not in (QUEUED, RUNNING):
             return False
         if record.state == QUEUED:
-            self._queue.remove(query_id)
+            tenant = self.tenants.get(record.tenant)
+            if tenant is not None and query_id in tenant.queue:
+                tenant.queue.remove(query_id)
         else:
             record.run.cancel()
         self._finish_own_txn(record, commit=False)
@@ -591,9 +790,26 @@ class WorkloadManager:
         self._update_gauges()
         return True
 
+    def _release_running(self, record: QueryRecord,
+                         finished: bool = True) -> None:
+        """Drop a query from the running set and its tenant's accounting."""
+        self._running.remove(record.query_id)
+        tenant = self.tenants.get(record.tenant)
+        if tenant is None:
+            return
+        tenant.running -= 1
+        if finished:
+            tenant.finished += 1
+        for node, estimate in record.memory_estimate.items():
+            remaining = tenant.mem_by_node.get(node, 0) - estimate
+            if remaining > 0:
+                tenant.mem_by_node[node] = remaining
+            else:
+                tenant.mem_by_node.pop(node, None)
+
     def _retire(self, record: QueryRecord) -> None:
         if record.query_id in self._running:
-            self._running.remove(record.query_id)
+            self._release_running(record)
         self._update_gauges()
 
     def _notify_monitor(self, record: QueryRecord) -> None:
@@ -639,13 +855,15 @@ class WorkloadManager:
             record.own_txn = False
             record.state = QUEUED
             record.queue_reason = f"retry after {node} failed"
-            self._running.remove(qid)
+            self._release_running(record, finished=False)
             self._retried.inc()
             requeued.append(qid)
             self._emit("query.retry", query=qid, node=node,
                        attempt=record.retries)
+        # front of each tenant's queue, preserving per-tenant FIFO order
         for qid in sorted(requeued, reverse=True):
-            self._queue.appendleft(qid)
+            tenant = self.tenants[self._records[qid].tenant]
+            tenant.queue.appendleft(qid)
         self._update_gauges()
         return {"requeued": requeued, "failed": failed}
 
@@ -655,7 +873,7 @@ class WorkloadManager:
         Admission estimates were computed against the old worker set;
         refresh them so queued queries are judged against the survivors.
         """
-        for qid in self._queue:
+        for qid in self.queued_ids():
             record = self._records[qid]
             record.memory_estimate = estimate_query_memory(
                 self.cluster, record.phys, record.thread_to_node,

@@ -336,6 +336,41 @@ class TestDefaultRules:
         names = {r.name for r in default_rules(c)}
         assert {"memory_watermark", "replan_storm"} <= names
 
+    def test_tenant_saturation_rule_follows_config(self, cluster):
+        rules = {r.name: r for r in default_rules(cluster)}
+        rule = rules["tenant_quota_saturated"]
+        assert rule.metric == "tenant_quota_saturation"
+        assert rule.threshold == cluster.config.alert_tenant_saturation
+        config = Config().scaled_for_tests()
+        config.alert_tenant_saturation = 0.0
+        c = VectorHCluster(n_nodes=4, config=config)
+        assert "tenant_quota_saturated" not in {
+            r.name for r in default_rules(c)}
+
+    def test_tenant_saturation_alert_raises_and_clears(self):
+        # satellite: a tenant overrunning its concurrency quota raises
+        # the stock alert, which clears once its backlog drains -- all
+        # on the sim clock, so twin runs agree bit for bit
+        def run():
+            c = _monitored_cluster(workload_max_concurrent=4)
+            srv = c.serve()
+            srv.add_tenant("capped", weight=1, max_concurrent=1)
+            conn = srv.connect("capped")
+            for i in range(4):
+                conn.query_async(
+                    f"SELECT sum(b) AS s FROM t WHERE a < {i + 2}")
+            srv.drain()
+            return c
+        c = run()
+        episodes = [a for a in c.monitor.health.alerts
+                    if a.rule == "tenant_quota_saturated"]
+        assert episodes, "tenant saturation alert never raised"
+        assert all(a.state == "cleared" for a in episodes)
+        assert episodes[0].peak >= 1.0
+        kinds = [e.kind for e in c.events if e.source == "monitor"]
+        assert "alert.raised" in kinds and "alert.cleared" in kinds
+        assert c.monitor.health.sequence() == run().monitor.health.sequence()
+
 
 # ----------------------------------------------------------------- QueryLog
 
